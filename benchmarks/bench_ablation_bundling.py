@@ -1,0 +1,19 @@
+"""Ablation A2: message bundling.
+
+Paper (section 3.3): "the PPM runtime library is capable of bundling
+up fine-grained remote shared data accesses into coarse-grained
+packages in order to reduce overall communication overhead."  The
+ablation sends one message per element instead.
+"""
+
+from __future__ import annotations
+
+from repro.bench.figures import ablation_bundling
+
+
+def test_ablation_bundling(benchmark, record_sweep):
+    result = benchmark.pedantic(
+        lambda: record_sweep(ablation_bundling), rounds=1, iterations=1
+    )
+    for speedup in result.series("speedup"):
+        assert speedup > 3.0, "bundling must be a large win on fine-grained access"

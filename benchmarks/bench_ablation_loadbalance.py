@@ -1,0 +1,21 @@
+"""Ablation A5: runtime load balancing via processor virtualisation.
+
+Paper (section 3): "Virtualization of processors allows for maximal
+expression of inherent parallelism ... and therefore provides
+opportunities for the compiler and runtime system to do optimizations
+such as load balancing."  More VPs per core give the balancer more
+room, so the speedup should grow with the virtualisation factor.
+"""
+
+from __future__ import annotations
+
+from repro.bench.figures import ablation_loadbalance
+
+
+def test_ablation_loadbalance(benchmark, record_sweep):
+    result = benchmark.pedantic(
+        lambda: record_sweep(ablation_loadbalance), rounds=1, iterations=1
+    )
+    speedups = result.series("speedup")
+    assert all(s >= 1.0 for s in speedups)
+    assert max(speedups) > 1.2, "balancing must pay off on skewed work"

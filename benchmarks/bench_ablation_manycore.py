@@ -1,0 +1,21 @@
+"""Ablation A1: the manycore outlook.
+
+Paper (conclusion): "we believe the benefits of the PPM model will be
+more significant when the number of cores per node increases (far
+beyond the current 4 cores per node)."  Fixed total core budget,
+redistributed into fatter nodes.
+"""
+
+from __future__ import annotations
+
+from repro.bench.figures import ablation_manycore
+
+
+def test_ablation_manycore(benchmark, record_sweep):
+    result = benchmark.pedantic(
+        lambda: record_sweep(ablation_manycore), rounds=1, iterations=1
+    )
+    ratios = result.series("ppm/mpi")
+    # PPM's relative position should improve as nodes get fatter.
+    assert ratios[-1] < ratios[0]
+    assert ratios[-1] < 1.0, "PPM should win outright on manycore nodes"

@@ -1,0 +1,20 @@
+"""Ablation A3: communication/computation overlap and NIC scheduling.
+
+Paper (section 3.3): the runtime "schedul[es] communication needs and
+computation tasks to enable (automatic) overlap of computation and
+communication; and ... reduce[s] contention of multiple cores
+competing for network resources."
+"""
+
+from __future__ import annotations
+
+from repro.bench.figures import ablation_overlap
+
+
+def test_ablation_overlap(benchmark, record_sweep):
+    result = benchmark.pedantic(
+        lambda: record_sweep(ablation_overlap), rounds=1, iterations=1
+    )
+    speedups = result.series("speedup")
+    assert all(s >= 1.0 for s in speedups)
+    assert speedups[-1] > 1.02, "the optimisations must matter at scale"

@@ -1,0 +1,19 @@
+"""Ablation A4: SmartMap-style intra-node MPI.
+
+Paper (footnote 1): "this intra-node communication overhead can
+potentially be reduced if the SmartMap mechanism [3] is added to the
+multicore implementation of [the] MPI runtime library."
+"""
+
+from __future__ import annotations
+
+from repro.bench.figures import ablation_smartmap
+
+
+def test_ablation_smartmap(benchmark, record_sweep):
+    result = benchmark.pedantic(
+        lambda: record_sweep(ablation_smartmap), rounds=1, iterations=1
+    )
+    speedups = result.series("speedup")
+    assert all(s >= 1.0 for s in speedups)
+    assert speedups[0] > 1.01, "SmartMap should help most when nodes are few"

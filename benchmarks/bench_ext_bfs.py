@@ -1,0 +1,21 @@
+"""Extension experiment: breadth-first search.
+
+The paper's introduction names graph algorithms first among the
+unstructured applications motivating PPM, but never measures one.
+This bench regenerates the numbers quoted in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from repro.bench.figures import ext_bfs
+
+
+def test_ext_bfs(benchmark, record_sweep):
+    result = benchmark.pedantic(
+        lambda: record_sweep(ext_bfs), rounds=1, iterations=1
+    )
+    ratios = result.series("ppm/mpi")
+    # PPM must win at scale; BFS is latency-bound so absolute strong
+    # scaling is not expected of either version.
+    assert ratios[-1] < 0.8
+    assert ratios[-1] < ratios[0]

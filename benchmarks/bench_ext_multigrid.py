@@ -1,0 +1,21 @@
+"""Extension experiment: geometric multigrid.
+
+"Multi-grid" is on the paper's introduction list of motivating
+unstructured applications; the bench records how both programming
+models behave under the V-cycle's coarse-level synchronisation
+squeeze.
+"""
+
+from __future__ import annotations
+
+from repro.bench.figures import ext_multigrid
+
+
+def test_ext_multigrid(benchmark, record_sweep):
+    result = benchmark.pedantic(
+        lambda: record_sweep(ext_multigrid), rounds=1, iterations=1
+    )
+    # Both versions are latency-bound at depth; the assertion pins the
+    # qualitative outcome: PPM at least matches MPI at scale.
+    ratios = result.series("ppm/mpi")
+    assert ratios[-1] < 1.2

@@ -1,0 +1,21 @@
+"""Extension experiment: sparse triangular solve — an honest negative.
+
+The paper's introduction cites [20] (parallel ICCG triangular solve)
+as "unsuitable for MPI".  Measured on this kernel, a hand-tuned
+asynchronous MPI push plan beats strict phase-per-wavefront PPM,
+because PPM pays a cluster barrier on every wavefront level.  The
+bench locks in that finding so the limitation stays documented.
+"""
+
+from __future__ import annotations
+
+from repro.bench.figures import ext_trsv
+
+
+def test_ext_trsv(benchmark, record_sweep):
+    result = benchmark.pedantic(
+        lambda: record_sweep(ext_trsv), rounds=1, iterations=1
+    )
+    ratios = result.series("ppm/mpi")
+    # The documented limitation: tuned MPI wins on multi-node runs.
+    assert all(r > 1.0 for r in ratios[1:])

@@ -1,0 +1,25 @@
+"""Figure 1: Conjugate Gradient solver, PPM vs tuned MPI.
+
+Paper (section 4.5): "PPM version started out much slower than the MPI
+version when there is only one node (4 cores) but catches up quickly
+as the number of nodes increases."
+"""
+
+from __future__ import annotations
+
+from repro.bench.figures import fig1_cg
+
+NODE_COUNTS = (1, 2, 4, 8, 16, 32, 64)
+
+
+def test_fig1_cg(benchmark, record_sweep):
+    result = benchmark.pedantic(
+        lambda: record_sweep(fig1_cg, NODE_COUNTS), rounds=1, iterations=1
+    )
+    ratios = result.series("ppm/mpi")
+    # Shape assertions — the paper's qualitative claims.
+    assert ratios[0] > 2.0, "PPM should be much slower on one node"
+    assert ratios[-1] < 1.1, "PPM should have (nearly) caught up at scale"
+    assert ratios == sorted(ratios, reverse=True) or ratios[-1] < 0.5 * ratios[0], (
+        "the PPM/MPI ratio should fall as nodes increase"
+    )

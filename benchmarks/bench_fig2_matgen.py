@@ -1,0 +1,22 @@
+"""Figure 2: multiscale collocation matrix generation, PPM vs MPI.
+
+Paper (section 4.5): "The PPM program consistently performs better
+than the MPI implementation ... The PPM program scales better as the
+number of nodes increases."
+"""
+
+from __future__ import annotations
+
+from repro.bench.figures import fig2_matgen
+
+NODE_COUNTS = (1, 2, 4, 8, 16, 32, 64)
+
+
+def test_fig2_matgen(benchmark, record_sweep):
+    result = benchmark.pedantic(
+        lambda: record_sweep(fig2_matgen, NODE_COUNTS), rounds=1, iterations=1
+    )
+    ratios = result.series("ppm/mpi")
+    assert max(ratios) < 1.25, "PPM should be at least competitive everywhere"
+    assert ratios[-1] < 0.5, "PPM should scale clearly better"
+    assert ratios[-1] < ratios[0], "the gap should widen with node count"

@@ -1,0 +1,25 @@
+"""Figure 3: Barnes-Hut simulation.
+
+Paper (section 4.5): "The PPM program scales well as the number of
+nodes increases."  The paper had no MPI Barnes-Hut (Table 1: N/A); the
+tree-replication method it criticises ([9]) is included as a reference
+on the smaller node counts.
+"""
+
+from __future__ import annotations
+
+from repro.bench.figures import fig3_barneshut
+
+NODE_COUNTS = (1, 2, 4, 8, 16, 32, 64)
+
+
+def test_fig3_barneshut(benchmark, record_sweep):
+    result = benchmark.pedantic(
+        lambda: record_sweep(fig3_barneshut, NODE_COUNTS), rounds=1, iterations=1
+    )
+    times = result.series("ppm_s")
+    # PPM scales well: time falls monotonically over the first doublings
+    # and ends far below the single-node time.
+    assert times[1] < times[0]
+    assert times[2] < times[1]
+    assert min(times) < 0.4 * times[0]

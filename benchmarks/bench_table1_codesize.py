@@ -1,0 +1,23 @@
+"""Table 1: application code size (number of lines), PPM vs MPI.
+
+Paper: CG 161 vs 733; Matrix Generation 424 vs 744; Barnes-Hut 499 vs
+N/A — "the PPM implementations are much smaller (and simpler) than the
+MPI implementations of the same applications."
+"""
+
+from __future__ import annotations
+
+from repro.bench.codesize import table1_codesize
+
+
+def test_table1_codesize(benchmark, record_sweep):
+    result = benchmark.pedantic(
+        lambda: record_sweep(table1_codesize), rounds=1, iterations=1
+    )
+    for row in result.rows:
+        assert row["ppm_loc"] > 0 and row["mpi_loc"] > 0
+        if row["application"] == "Barnes Hut":
+            continue  # the paper had no MPI Barnes-Hut to compare
+        assert row["mpi_loc"] > 1.5 * row["ppm_loc"], (
+            f"{row['application']}: MPI should need substantially more code"
+        )

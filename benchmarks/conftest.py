@@ -1,0 +1,28 @@
+"""Benchmark-suite configuration.
+
+Every benchmark regenerates one table or figure of the paper (see
+DESIGN.md's per-experiment index).  Each runs its full sweep once per
+benchmark round (``pedantic`` mode: the sweep is the unit of
+measurement, not a single solver call), prints the regenerated series
+and saves it under ``bench_results/`` for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.report import save_result
+
+
+@pytest.fixture
+def record_sweep():
+    """Run a sweep builder, persist and echo its table, and hand the
+    result back for shape assertions."""
+
+    def _record(builder, *args, **kwargs):
+        result = builder(*args, **kwargs)
+        text = save_result(result)
+        print("\n" + text)
+        return result
+
+    return _record

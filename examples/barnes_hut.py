@@ -1,0 +1,53 @@
+"""Application 3: Barnes-Hut N-body simulation (paper Figure 3).
+
+Runs the PPM Barnes-Hut — tree in global shared memory, data-driven
+traversal bundled by the runtime — against the serial reference, then
+shows the scaling the paper reports and the communication-volume
+contrast with the tree-replication MPI method the paper criticises.
+
+Run with:  python examples/barnes_hut.py
+"""
+
+import numpy as np
+
+from repro import Cluster, franklin
+from repro.apps.barneshut import (
+    direct_forces,
+    bh_forces,
+    make_plummer_cloud,
+    mpi_bh_simulate,
+    ppm_bh_simulate,
+    serial_bh_simulate,
+)
+
+if __name__ == "__main__":
+    n = 1024
+    pos, vel, mass = make_plummer_cloud(n, seed=11)
+    print(f"Barnes-Hut: {n} particles, theta = 0.5")
+
+    # Accuracy of the approximation itself.
+    a_bh = bh_forces(pos, mass, theta=0.5)
+    a_exact = direct_forces(pos, mass)
+    rel = np.linalg.norm(a_bh - a_exact, axis=1) / (
+        np.linalg.norm(a_exact, axis=1) + 1e-12
+    )
+    print(f"force error vs direct summation: median {np.median(rel):.4f}")
+
+    ref_pos, _ = serial_bh_simulate(pos, vel, mass, steps=2)
+
+    print(f"\n{'nodes':>5}  {'PPM (ms)':>9}  {'replication MPI (ms)':>20}")
+    for nodes in (1, 2, 4, 8):
+        p_pos, _, t_ppm = ppm_bh_simulate(
+            pos, vel, mass, Cluster(franklin(n_nodes=nodes)), steps=2
+        )
+        assert np.allclose(p_pos, ref_pos, atol=1e-12), "PPM result mismatch"
+        _, _, t_mpi = mpi_bh_simulate(
+            pos, vel, mass, Cluster(franklin(n_nodes=nodes)), steps=2
+        )
+        print(f"{nodes:>5}  {t_ppm * 1e3:>9.3f}  {t_mpi * 1e3:>20.3f}")
+
+    print(
+        "\nPPM matches the serial single-tree results exactly; the MPI\n"
+        "method replicates whole subtrees every step, which is the\n"
+        "high-volume data exchange the paper calls out."
+    )

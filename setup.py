@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+Kept alongside pyproject.toml so that ``pip install -e .`` works in
+fully offline environments (legacy editable installs do not need the
+``wheel`` package, PEP 660 ones do).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,50 @@
+"""repro — reproduction of the Parallel Phase Model (PPM).
+
+Paper: Brightwell, Heroux, Wen, Wu.  *Parallel Phase Model: A
+Programming Model for High-end Parallel Machines with Manycores.*
+SAND2009-2287 / ICPP 2009.
+
+Public API overview
+-------------------
+* :mod:`repro.config` — :class:`~repro.config.MachineConfig` and the
+  ``franklin()`` / ``manycore()`` presets;
+* :mod:`repro.machine` — the simulated cluster substrate;
+* :mod:`repro.mpi` — the MPI-like message-passing layer (baselines);
+* :mod:`repro.core` — the PPM programming model and runtime;
+* :mod:`repro.apps` — the paper's three applications, each in PPM,
+  MPI and serial-reference form;
+* :mod:`repro.bench` — the experiment harness regenerating every
+  figure and table of the paper's evaluation.
+"""
+
+from repro.config import MachineConfig, franklin, manycore, testing
+from repro.core import (
+    GlobalShared,
+    NodeShared,
+    PpmError,
+    PpmProgram,
+    VpContext,
+    ppm_function,
+    run_ppm,
+)
+from repro.machine import Cluster
+from repro.mpi import run_mpi
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Cluster",
+    "GlobalShared",
+    "MachineConfig",
+    "NodeShared",
+    "PpmError",
+    "PpmProgram",
+    "VpContext",
+    "__version__",
+    "franklin",
+    "manycore",
+    "ppm_function",
+    "run_mpi",
+    "run_ppm",
+    "testing",
+]

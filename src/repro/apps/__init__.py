@@ -1,0 +1,17 @@
+"""The paper's three evaluation applications (section 4).
+
+Each application comes in three forms:
+
+* a **serial reference** (plain numpy/scipy) used to verify numerics;
+* a **PPM implementation** using the programming model under study;
+* an **MPI implementation** written the way the paper's baselines were
+  (explicit neighbour lists, packing/unpacking, collectives).
+
+All three compute the same answer (verified by the test suite); the
+PPM and MPI versions additionally report simulated execution time on
+the configured machine, which is what the figures compare.
+"""
+
+from repro.apps import barneshut, cg, collocation, graph, multigrid, sptrsv  # noqa: F401
+
+__all__ = ["barneshut", "cg", "collocation", "graph", "multigrid", "sptrsv"]

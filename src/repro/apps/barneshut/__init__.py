@@ -1,0 +1,35 @@
+"""Application 3 (paper section 4.4): Barnes-Hut N-body simulation.
+
+"In every time step, the algorithm creates a tree from the particles
+according to the distribution of their coordinates, then updates the
+coordinates by computing the particles' forces using the tree.  The
+advantage is the reduced O(n log n) computation complexity ... but the
+drawback is the totally data-driven random access to the tree and the
+particles."
+"""
+
+from repro.apps.barneshut.mpi_bh import mpi_bh_simulate
+from repro.apps.barneshut.octree import Octree, build_octree, check_octree, max_tree_nodes
+from repro.apps.barneshut.ppm_bh import ppm_bh_simulate
+from repro.apps.barneshut.serial_bh import (
+    bh_forces,
+    direct_forces,
+    make_plummer_cloud,
+    serial_bh_simulate,
+)
+from repro.apps.barneshut.traversal import WalkResult, walk_forces
+
+__all__ = [
+    "Octree",
+    "WalkResult",
+    "bh_forces",
+    "build_octree",
+    "check_octree",
+    "direct_forces",
+    "make_plummer_cloud",
+    "max_tree_nodes",
+    "mpi_bh_simulate",
+    "ppm_bh_simulate",
+    "serial_bh_simulate",
+    "walk_forces",
+]

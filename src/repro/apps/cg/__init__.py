@@ -1,0 +1,21 @@
+"""Application 1 (paper section 4.2): Conjugate Gradient solver.
+
+"The linear system solved in this program is from the diffusion
+problem on [a] 3D chimney domain by a 27 point implicit finite
+difference scheme with unstructured data formats and communication
+patterns."  The paper's instance is 16.7M rows / ~400M nonzeros; the
+reproduction uses the same generator at laptop scale.
+"""
+
+from repro.apps.cg.mpi_cg import mpi_cg_solve
+from repro.apps.cg.ppm_cg import ppm_cg_solve
+from repro.apps.cg.problem import CgProblem, build_chimney_problem
+from repro.apps.cg.serial_cg import serial_cg_solve
+
+__all__ = [
+    "CgProblem",
+    "build_chimney_problem",
+    "mpi_cg_solve",
+    "ppm_cg_solve",
+    "serial_cg_solve",
+]

@@ -1,0 +1,26 @@
+"""Application 2 (paper section 4.3): sparse matrix generation for a
+multi-scale collocation method.
+
+"Every non-zero entry of the generated matrix is a linear combination
+of multiple functions' values at multiple collocation points.  The
+evaluation of these function values involves numerical integrations of
+very high computational complexity.  To reduce the computational cost,
+the algorithm iterates through multiple levels of computation, on each
+of which the intermediate results of the numerical integrations are
+stored as global data, and then very randomly accessed in the patterns
+determined by the linear combinations as well as the non-zero pattern
+of the sparse matrix."  (Chen, Wu, Xu [6] is the method's source.)
+"""
+
+from repro.apps.collocation.mpi_gen import mpi_generate
+from repro.apps.collocation.multiscale import CollocationConfig, MultiscaleProblem
+from repro.apps.collocation.ppm_gen import ppm_generate
+from repro.apps.collocation.serial_gen import serial_generate
+
+__all__ = [
+    "CollocationConfig",
+    "MultiscaleProblem",
+    "mpi_generate",
+    "ppm_generate",
+    "serial_generate",
+]

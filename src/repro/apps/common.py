@@ -1,0 +1,60 @@
+"""Small utilities shared by the application implementations."""
+
+from __future__ import annotations
+
+import numpy as np
+
+_SPLITMIX_MULT = np.uint64(0x9E3779B97F4A7C15)
+_MIX1 = np.uint64(0xBF58476D1CE4E5B9)
+_MIX2 = np.uint64(0x94D049BB133111EB)
+_U64 = np.uint64(0xFFFFFFFFFFFFFFFF)
+
+
+def split_range(n: int, parts: int) -> list[tuple[int, int]]:
+    """Partition ``range(n)`` into ``parts`` contiguous blocks whose
+    sizes differ by at most one (the canonical block distribution)."""
+    if parts < 1:
+        raise ValueError(f"parts must be >= 1, got {parts}")
+    if n < 0:
+        raise ValueError(f"n must be non-negative, got {n}")
+    bounds = [(i * n) // parts for i in range(parts + 1)]
+    return [(bounds[i], bounds[i + 1]) for i in range(parts)]
+
+
+def block_of(index: int, n: int, parts: int) -> int:
+    """The block (from :func:`split_range`) containing ``index``."""
+    if not 0 <= index < n:
+        raise IndexError(f"index {index} out of range [0, {n})")
+    # Inverse of the floor-division bounds: smallest p with
+    # ((p+1)*n)//parts > index.
+    p = (index * parts) // n
+    while (p + 1) * n // parts <= index:
+        p += 1
+    return p
+
+
+def hash_u64(x: np.ndarray | int) -> np.ndarray | np.uint64:
+    """SplitMix64 integer hash — the deterministic pseudo-randomness
+    used by the synthetic workloads (identical in serial, PPM and MPI
+    implementations, so results can be compared exactly)."""
+    with np.errstate(over="ignore"):
+        z = (np.asarray(x, dtype=np.uint64) + _SPLITMIX_MULT) & _U64
+        z = ((z ^ (z >> np.uint64(30))) * _MIX1) & _U64
+        z = ((z ^ (z >> np.uint64(27))) * _MIX2) & _U64
+        return z ^ (z >> np.uint64(31))
+
+
+def hash_unit(x: np.ndarray | int) -> np.ndarray | float:
+    """Deterministic hash of integers into [0, 1)."""
+    h = hash_u64(x)
+    return np.asarray(h, dtype=np.float64) / 2.0**64
+
+
+def dot_flops(n: int) -> int:
+    """Flop count of a length-``n`` dot product."""
+    return 2 * n
+
+
+def axpy_flops(n: int) -> int:
+    """Flop count of ``y += a*x`` over ``n`` elements."""
+    return 2 * n

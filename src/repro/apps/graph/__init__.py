@@ -1,0 +1,25 @@
+"""Graph application: level-synchronous breadth-first search.
+
+The paper's introduction names graph algorithms first among the
+unstructured applications that "inherently require high-volume random
+fine-grained communication" and motivate PPM.  This package adds a
+BFS in the same three forms as the evaluation applications: a serial
+reference (verified against networkx), a PPM version (frontier
+expansion as one global phase per level, neighbour updates as
+combining ``minimum`` writes), and an MPI baseline (owner-directed
+update messages with explicit bundling).
+"""
+
+from repro.apps.graph.generator import hashed_graph, to_networkx
+from repro.apps.graph.mpi_bfs import mpi_bfs
+from repro.apps.graph.ppm_bfs import ppm_bfs
+from repro.apps.graph.serial_bfs import UNREACHED, serial_bfs
+
+__all__ = [
+    "UNREACHED",
+    "hashed_graph",
+    "mpi_bfs",
+    "ppm_bfs",
+    "serial_bfs",
+    "to_networkx",
+]

@@ -1,0 +1,28 @@
+"""Geometric multigrid (V-cycle) for the 1-D Poisson problem.
+
+"Multi-grid" is on the paper's introduction list of unstructured
+applications that motivate PPM.  The V-cycle is a stress test for the
+phase model's *hierarchy* handling: every smoothing step, restriction
+and prolongation is a data-parallel phase, but the active grid shrinks
+by half per level, so deep levels have far less work than the fixed
+synchronisation cost — the classic multigrid communication squeeze.
+
+Three forms as usual: a serial reference (verified against the direct
+sparse solve), a PPM version (one global phase per grid operation,
+halo reads through shared memory), and an MPI baseline (explicit
+per-level neighbour halo exchanges).
+"""
+
+from repro.apps.multigrid.mpi_mg import mpi_mg_solve
+from repro.apps.multigrid.ppm_mg import ppm_mg_solve
+from repro.apps.multigrid.problem import MgProblem, build_mg_problem, vcycle_schedule
+from repro.apps.multigrid.serial_mg import serial_mg_solve
+
+__all__ = [
+    "MgProblem",
+    "build_mg_problem",
+    "mpi_mg_solve",
+    "ppm_mg_solve",
+    "serial_mg_solve",
+    "vcycle_schedule",
+]

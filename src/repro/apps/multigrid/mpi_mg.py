@@ -1,0 +1,216 @@
+"""MPI implementation of the multigrid V-cycle.
+
+The explicit-message counterpart: every level's points are partitioned
+so that a rank's coarse points sit under its fine points (rank owns
+coarse ``i`` iff it owns fine ``2i``), which bounds every operation's
+remote needs to one-point halos.  The application then has to carry,
+per level, a halo plan (left/right neighbours in the chain of
+non-empty ranks), exchange ghost cells before each smoothing sweep,
+each residual, each restriction (residual ghosts) and each
+prolongation (coarse ghosts), and gather/scatter the coarsest level to
+rank 0 for the direct solve.  All of this choreography is what the PPM
+version's plain indexing replaces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.apps.common import split_range
+from repro.apps.multigrid.problem import (
+    MgProblem,
+    coarse_solve,
+    op_flops,
+    prolong_window,
+    residual_window,
+    restrict_window,
+    smooth_window,
+    vcycle_schedule,
+)
+from repro.machine import Cluster
+from repro.mpi import run_mpi
+
+_TAG_LEFT = 51
+_TAG_RIGHT = 52
+
+
+@dataclass(frozen=True)
+class _LevelPlan:
+    """One rank's slice of one level, plus its halo neighbours."""
+
+    lo: int
+    hi: int
+    prev: int  # rank owning lo-1 (-1: domain boundary / empty)
+    next: int  # rank owning hi   (-1: domain boundary / empty)
+
+    @property
+    def interior(self) -> tuple[int, int]:
+        return self.lo, self.hi
+
+
+def build_level_plans(
+    problem: MgProblem, size: int
+) -> tuple[list[list[_LevelPlan]], set[int]]:
+    """Per-rank, per-level slices with halo neighbours (setup,
+    untimed).  Level 0 is block-partitioned over the interior; each
+    coarser level's ownership is induced by the fine level (coarse i
+    under fine 2i), so halos stay one point wide everywhere.
+
+    Also returns the set of *replicated* coarse levels: once a level is
+    so small that some rank holds fine points but no coarse points,
+    one-point halos cannot feed its prolongation, so (like real
+    multigrid codes) the level is assembled everywhere by allgather.
+    """
+    L = problem.levels
+    n0 = problem.sizes[0]
+    fine_blocks = [(max(lo, 1), min(hi, n0 - 1)) for lo, hi in split_range(n0, size)]
+
+    per_level: list[list[tuple[int, int]]] = [fine_blocks]
+    for l in range(1, L + 1):
+        prev_blocks = per_level[-1]
+        n = problem.sizes[l]
+        blocks = []
+        for f_lo, f_hi in prev_blocks:
+            c_lo = max((f_lo + 1) // 2, 1)
+            c_hi = max((f_hi + 1) // 2, c_lo)
+            blocks.append((min(c_lo, n - 1), min(c_hi, n - 1)))
+        per_level.append(blocks)
+
+    plans: list[list[_LevelPlan]] = [[] for _ in range(size)]
+    for l in range(L + 1):
+        blocks = per_level[l]
+        owner = {}
+        for r, (lo, hi) in enumerate(blocks):
+            for i in range(lo, hi):
+                owner[i] = r
+        for r, (lo, hi) in enumerate(blocks):
+            if lo >= hi:
+                plans[r].append(_LevelPlan(lo=lo, hi=lo, prev=-1, next=-1))
+                continue
+            prev = owner.get(lo - 1, -1)
+            nxt = owner.get(hi, -1)
+            plans[r].append(_LevelPlan(lo=lo, hi=hi, prev=prev, next=nxt))
+
+    replicated: set[int] = set()
+    for l in range(1, L + 1):
+        for fine, coarse in zip(per_level[l - 1], per_level[l]):
+            if fine[0] < fine[1] and coarse[0] >= coarse[1]:
+                replicated.add(l)
+                break
+    return plans, replicated
+
+
+def _exchange_halo(comm, plan: _LevelPlan, local: np.ndarray, n: int) -> None:
+    """Refresh the ghost cells ``local[lo-1]`` and ``local[hi]`` from
+    the neighbouring ranks (domain boundaries stay at their Dirichlet
+    zeros).  ``local`` is the rank's full-length working vector."""
+    lo, hi = plan.lo, plan.hi
+    if lo >= hi:
+        return
+    if plan.prev >= 0:
+        comm.send(float(local[lo]), dest=plan.prev, tag=_TAG_RIGHT)
+    if plan.next >= 0:
+        comm.send(float(local[hi - 1]), dest=plan.next, tag=_TAG_LEFT)
+    if plan.next >= 0:
+        local[hi] = comm.recv(source=plan.next, tag=_TAG_RIGHT)
+    if plan.prev >= 0:
+        local[lo - 1] = comm.recv(source=plan.prev, tag=_TAG_LEFT)
+    comm.mem_work(2)
+
+
+def _mg_rank(comm, problem: MgProblem, plans, replicated, cycles, nu1, nu2):
+    L = problem.levels
+    my = plans[comm.rank]
+    u = [np.zeros(problem.sizes[l]) for l in range(L + 1)]
+    f = [np.zeros(problem.sizes[l]) for l in range(L + 1)]
+    r = [np.zeros(problem.sizes[l]) for l in range(L + 1)]
+    f[0][:] = problem.f
+    schedule = vcycle_schedule(L, nu1=nu1, nu2=nu2)
+
+    for _cycle in range(cycles):
+        for op, l in schedule:
+            h = problem.h(l)
+            plan = my[l]
+            lo, hi = plan.interior
+            if op == "coarse":
+                # Agglomerate the (tiny) coarsest level on rank 0.
+                chunk = f[l][lo:hi]
+                gathered = comm.gather((lo, hi, chunk), root=0)
+                if comm.rank == 0:
+                    full_f = np.zeros(problem.sizes[l])
+                    for glo, ghi, vals in gathered:
+                        full_f[glo:ghi] = vals
+                    full_u = coarse_solve(full_f, h)
+                    comm.work(op_flops("coarse", problem.sizes[l]))
+                    pieces = [
+                        full_u[p[l].lo - 1 : p[l].hi + 1] if p[l].lo < p[l].hi else None
+                        for p in plans
+                    ]
+                else:
+                    pieces = None
+                mine = comm.scatter(pieces, root=0)
+                if mine is not None:
+                    u[l][lo - 1 : hi + 1] = mine
+                continue
+            if op == "smooth":
+                _exchange_halo(comm, plan, u[l], problem.sizes[l])
+                if lo < hi:
+                    u[l][lo:hi] = smooth_window(u[l][lo - 1 : hi + 1], f[l][lo:hi], h)
+                    comm.work(op_flops("smooth", hi - lo))
+            elif op == "residual":
+                _exchange_halo(comm, plan, u[l], problem.sizes[l])
+                if lo < hi:
+                    r[l][lo:hi] = residual_window(u[l][lo - 1 : hi + 1], f[l][lo:hi], h)
+                    comm.work(op_flops("residual", hi - lo))
+            elif op == "restrict":
+                _exchange_halo(comm, plan, r[l], problem.sizes[l])
+                cplan = my[l + 1]
+                clo, chi = cplan.interior
+                if clo < chi:
+                    f[l + 1][clo:chi] = restrict_window(
+                        r[l][2 * clo - 1 : 2 * (chi - 1) + 2]
+                    )
+                    comm.work(op_flops("restrict", chi - clo))
+                u[l + 1][:] = 0.0
+            elif op == "prolong":
+                cplan = my[l + 1]
+                if (l + 1) in replicated:
+                    # Tiny coarse level: assemble it everywhere.
+                    clo, chi = cplan.interior
+                    gathered = comm.allgather((clo, chi, u[l + 1][clo:chi]))
+                    for glo, ghi, vals in gathered:
+                        u[l + 1][glo:ghi] = vals
+                    comm.mem_work(problem.sizes[l + 1])
+                else:
+                    _exchange_halo(comm, cplan, u[l + 1], problem.sizes[l + 1])
+                if lo < hi:
+                    a, b = lo // 2, (hi - 1) // 2 + 2
+                    corr = prolong_window(u[l + 1][a:b], lo, hi - lo)
+                    u[l][lo:hi] += corr
+                    comm.work(op_flops("prolong", hi - lo))
+
+    lo, hi = my[0].interior
+    return lo, hi, u[0][lo:hi]
+
+
+def mpi_mg_solve(
+    problem: MgProblem,
+    cluster: Cluster,
+    *,
+    cycles: int = 8,
+    nu1: int = 2,
+    nu2: int = 2,
+    ranks: int | None = None,
+) -> tuple[np.ndarray, float]:
+    """Run the MPI V-cycles; returns the finest iterate and time."""
+    size = cluster.total_cores if ranks is None else ranks
+    plans, replicated = build_level_plans(problem, size)
+    res = run_mpi(
+        _mg_rank, cluster, problem, plans, replicated, cycles, nu1, nu2, ranks=ranks
+    )
+    u = np.zeros(problem.n)
+    for lo, hi, chunk in res.results:
+        u[lo:hi] = chunk
+    return u, res.elapsed

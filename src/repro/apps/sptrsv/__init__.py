@@ -1,0 +1,25 @@
+"""Sparse triangular solve (level-scheduled forward substitution).
+
+The paper's introduction cites Rothberg and Gupta's parallel ICCG
+triangular-solve bottleneck [20] as the canonical application "so
+difficult to implement efficiently that they are considered unsuitable
+for MPI parallel programming".  This package reproduces that workload:
+the lower-triangular factor of the CG application's stencil matrix,
+solved by wavefront (level) scheduling — rows of one dependency level
+solve concurrently, each needing fine-grained random reads of solution
+entries produced on earlier levels, usually on other nodes.
+"""
+
+from repro.apps.sptrsv.mpi_trsv import mpi_trsv
+from repro.apps.sptrsv.ppm_trsv import ppm_trsv
+from repro.apps.sptrsv.problem import TrsvProblem, build_trsv_problem, level_schedule
+from repro.apps.sptrsv.serial_trsv import serial_trsv
+
+__all__ = [
+    "TrsvProblem",
+    "build_trsv_problem",
+    "level_schedule",
+    "mpi_trsv",
+    "ppm_trsv",
+    "serial_trsv",
+]

@@ -1,0 +1,29 @@
+"""Serial reference forward substitution (row-wise and by levels)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.sptrsv.problem import TrsvProblem
+
+
+def serial_trsv(problem: TrsvProblem) -> np.ndarray:
+    """Solve ``L x = b`` by level-ordered forward substitution.
+
+    Iterating wavefront-by-wavefront (rather than row-by-row) gives the
+    exact floating-point evaluation order the parallel versions use, so
+    their results compare bit-for-bit.
+    """
+    L, b = problem.L, problem.b
+    indptr, indices, data = L.indptr, L.indices, L.data
+    x = np.zeros(problem.n)
+    for level in range(problem.n_levels):
+        for i in problem.rows_of_level(level):
+            start, end = indptr[i], indptr[i + 1]
+            cols = indices[start:end]
+            vals = data[start:end]
+            off = cols < i
+            s = float(vals[off] @ x[cols[off]])
+            diag = vals[~off][0]
+            x[i] = (b[i] - s) / diag
+    return x

@@ -1,0 +1,51 @@
+"""Generic sweep runner for the experiment harness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+
+@dataclass
+class SweepResult:
+    """Rows of one experiment sweep.
+
+    ``columns`` names the values each row carries (first column is the
+    sweep variable); ``rows`` is a list of dicts keyed by column.
+    """
+
+    name: str
+    columns: list[str]
+    rows: list[dict] = field(default_factory=list)
+    notes: str = ""
+
+    def series(self, column: str) -> list:
+        """One column as a list (for shape assertions)."""
+        if column not in self.columns:
+            raise KeyError(f"no column {column!r} in sweep {self.name!r}")
+        return [row.get(column) for row in self.rows]
+
+
+def run_sweep(
+    name: str,
+    variable: str,
+    values: Sequence,
+    runner: Callable[[object], dict],
+    *,
+    notes: str = "",
+) -> SweepResult:
+    """Run ``runner(value)`` for each sweep value and collect rows.
+
+    The runner returns a dict of measured columns; the sweep variable
+    is prepended automatically.
+    """
+    rows = []
+    columns: list[str] = [variable]
+    for value in values:
+        measured = runner(value)
+        row = {variable: value, **measured}
+        for key in measured:
+            if key not in columns:
+                columns.append(key)
+        rows.append(row)
+    return SweepResult(name=name, columns=columns, rows=rows, notes=notes)

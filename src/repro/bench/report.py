@@ -1,0 +1,82 @@
+"""Plain-text reporting for the experiment harness."""
+
+from __future__ import annotations
+
+import os
+
+from repro.bench.harness import SweepResult
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "..", "..", "..", "bench_results")
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) < 1e-2 or abs(value) >= 1e5:
+            return f"{value:.4g}"
+        return f"{value:.4f}"
+    return str(value)
+
+
+def format_table(result: SweepResult) -> str:
+    """Aligned text table of a sweep result."""
+    headers = result.columns
+    body = [[_fmt(row.get(c, "")) for c in headers] for row in result.rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in body)) if body else len(h)
+        for i, h in enumerate(headers)
+    ]
+    lines = [f"== {result.name} =="]
+    if result.notes:
+        lines.append(result.notes)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for r in body:
+        lines.append("  ".join(v.rjust(w) for v, w in zip(r, widths)))
+    return "\n".join(lines)
+
+
+def save_result(result: SweepResult, filename: str | None = None) -> str:
+    """Write the formatted table under ``bench_results/`` (repo root)
+    and return the text.  Benchmarks call this so EXPERIMENTS.md can
+    quote regenerated numbers."""
+    text = format_table(result)
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    fname = filename or f"{result.name}.txt"
+    with open(os.path.join(RESULTS_DIR, fname), "w") as fh:
+        fh.write(text + "\n")
+    return text
+
+
+def render_chart(result: SweepResult, *, width: int = 48) -> str:
+    """Text rendering of a sweep's time-like series (columns ending in
+    ``_s``) as horizontal bars — the closest an offline terminal gets
+    to the paper's figures.  Bars share one scale per chart so series
+    are visually comparable."""
+    x_col = result.columns[0]
+    y_cols = [c for c in result.columns if c.endswith("_s")]
+    if not y_cols:
+        return ""
+    values = [
+        row.get(c)
+        for c in y_cols
+        for row in result.rows
+        if isinstance(row.get(c), (int, float))
+    ]
+    if not values:
+        return ""
+    vmax = max(values) or 1.0
+    label_w = max(len(f"{row[x_col]}") for row in result.rows)
+    name_w = max(len(c) for c in y_cols)
+    lines = [f"-- {result.name} ({', '.join(y_cols)}; full bar = {vmax:.3g}s) --"]
+    for row in result.rows:
+        for i, c in enumerate(y_cols):
+            v = row.get(c)
+            x_label = f"{row[x_col]}".rjust(label_w) if i == 0 else " " * label_w
+            if not isinstance(v, (int, float)):
+                lines.append(f"{x_label}  {c.ljust(name_w)}  (n/a)")
+                continue
+            bar = "#" * max(1, int(round(width * v / vmax)))
+            lines.append(f"{x_label}  {c.ljust(name_w)}  {bar} {v:.3g}")
+    return "\n".join(lines)

@@ -1,0 +1,51 @@
+"""The Parallel Phase Model (PPM) — the paper's primary contribution.
+
+This package embeds the PPM language constructs (paper section 3.1) in
+Python and implements the light-weight runtime library (section 3.4):
+
+==============================  =======================================
+Paper construct                 This package
+==============================  =======================================
+``PPM_global_shared T x[n]``    ``ppm.global_shared(name, n, dtype)``
+``PPM_node_shared T x[n]``      ``ppm.node_shared(name, n, dtype)``
+``PPM_do(K) func(args)``        ``ppm.do(K, func, *args)``
+``PPM_function``                a Python generator taking a ``ctx``
+``PPM_global_phase { ... }``    ``yield ctx.global_phase`` + body
+``PPM_node_phase { ... }``      ``yield ctx.node_phase`` + body
+``PPM_node_count`` etc.         ``ppm.node_count`` / ``ctx.node_count``
+``PPM_VP_node_rank()``          ``ctx.node_rank``
+``PPM_VP_global_rank()``        ``ctx.global_rank``
+reduction / parallel prefix     ``ctx.reduce(x, op)`` / ``ctx.scan(x, op)``
+==============================  =======================================
+
+Phase semantics follow the paper exactly: reads observe the value a
+shared variable had at the beginning of the phase; writes take effect
+at the end of the phase; an implicit barrier ends every phase.
+"""
+
+from repro.core.constructs import GLOBAL_PHASE, NODE_PHASE, PhaseDecl, ppm_function
+from repro.core.errors import (
+    PhaseUsageError,
+    PpmError,
+    SharedAccessError,
+    VpProgramError,
+)
+from repro.core.program import PpmProgram, run_ppm
+from repro.core.shared import GlobalShared, NodeShared
+from repro.core.vp import VpContext
+
+__all__ = [
+    "GLOBAL_PHASE",
+    "GlobalShared",
+    "NODE_PHASE",
+    "NodeShared",
+    "PhaseDecl",
+    "PhaseUsageError",
+    "PpmError",
+    "PpmProgram",
+    "SharedAccessError",
+    "VpContext",
+    "VpProgramError",
+    "ppm_function",
+    "run_ppm",
+]

@@ -1,0 +1,97 @@
+"""Phase collectives: reduction and parallel prefix over VPs.
+
+The paper lists reduction and parallel prefix among PPM's utility
+functions (section 3.1, item 6).  In the phase model their natural
+semantics are *phase-bounded*: every participating VP contributes a
+value during a phase, the runtime combines the contributions at the
+phase barrier, and the result becomes readable afterwards.  The
+contribution call returns a :class:`CollectiveHandle` whose ``value``
+raises until the phase has committed.
+
+Matching follows call order, like MPI: the *i*-th collective call a VP
+makes inside a phase matches the *i*-th call of every other VP in that
+phase.  VPs that skip a call simply do not contribute to that slot.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.errors import CollectiveUsageError, PhaseUsageError
+from repro.mpi.collectives import resolve_op
+
+
+class CollectiveHandle:
+    """Deferred result of a phase collective."""
+
+    __slots__ = ("_ready", "_value", "kind")
+
+    def __init__(self, kind: str) -> None:
+        self.kind = kind
+        self._ready = False
+        self._value: object = None
+
+    @property
+    def ready(self) -> bool:
+        """True once the owning phase has committed."""
+        return self._ready
+
+    @property
+    def value(self) -> object:
+        """The combined result; raises before the phase commit."""
+        if not self._ready:
+            raise CollectiveUsageError(
+                f"{self.kind} result read before its phase committed; "
+                "collective results are only available in later phases"
+            )
+        return self._value
+
+    def _resolve(self, value: object) -> None:
+        self._value = value
+        self._ready = True
+
+
+class CollectiveSlot:
+    """One matched collective across VPs of a phase."""
+
+    __slots__ = ("kind", "op", "entries")
+
+    def __init__(self, kind: str, op: str | Callable) -> None:
+        if kind not in ("reduce", "scan"):
+            raise PhaseUsageError(f"unknown collective kind {kind!r}")
+        self.kind = kind
+        self.op = op
+        # (global_rank, value, handle), appended in execution order.
+        self.entries: list[tuple[int, object, CollectiveHandle]] = []
+
+    def add(self, global_rank: int, value: object) -> CollectiveHandle:
+        handle = CollectiveHandle(self.kind)
+        self.entries.append((global_rank, value, handle))
+        return handle
+
+    def check_compatible(self, kind: str, op: str | Callable) -> None:
+        if kind != self.kind or op is not self.op and op != self.op:
+            raise PhaseUsageError(
+                f"mismatched phase collectives: slot is {self.kind!r}/{self.op!r}, "
+                f"a VP called {kind!r}/{op!r}"
+            )
+
+    def resolve(self) -> int:
+        """Combine contributions in global-rank order and publish
+        results to every handle.  Returns the contributor count."""
+        entries = sorted(self.entries, key=lambda e: e[0])
+        if not entries:
+            return 0
+        fn = resolve_op(self.op)
+        if self.kind == "reduce":
+            acc = entries[0][1]
+            for _, v, _h in entries[1:]:
+                acc = fn(acc, v)
+            for _, _v, handle in entries:
+                handle._resolve(acc)
+        else:  # scan: inclusive prefix in global-rank order
+            acc = None
+            for _, v, handle in entries:
+                acc = v if acc is None else fn(acc, v)
+                handle._resolve(acc)
+        return len(entries)

@@ -1,0 +1,91 @@
+"""PPM language constructs: phase declarations and the function marker.
+
+A *PPM function* is a Python generator function whose ``yield``
+statements open phases::
+
+    @ppm_function
+    def kernel(ctx, A, B, out):
+        i = ctx.node_rank          # private prologue: no shared access
+        yield ctx.global_phase     # opens a global phase
+        out[i] = A[i] + B[i]       # phase body: snapshot reads,
+                                   # writes commit at the barrier
+        yield ctx.node_phase       # opens a node phase
+        ...
+
+Code before the first ``yield`` is the VP's private prologue; shared
+variables cannot be touched there.  Each ``yield`` must produce a
+:class:`PhaseDecl` — normally one of the ``ctx.global_phase`` /
+``ctx.node_phase`` properties, or ``ctx.phase(...)`` for phases with
+extra runtime hints.  A plain (non-generator) function passed to
+``ppm.do`` is treated as a single phase whose kind is given by
+``ppm.do(..., phase=...)``.
+"""
+
+from __future__ import annotations
+
+import inspect
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core.errors import PhaseUsageError
+
+
+@dataclass(frozen=True)
+class PhaseDecl:
+    """Declaration of an upcoming phase.
+
+    Attributes
+    ----------
+    kind:
+        ``"global"`` (cluster-wide barrier and shared-write commit) or
+        ``"node"`` (node-level only, as in ``PPM_node_phase``).
+    latency_rounds:
+        Runtime hint for data-driven access patterns: the number of
+        serialised remote-fetch rounds the phase's reads require (e.g.
+        a tree traversal needs one round per tree level because each
+        fetch depends on the previous one).  Bandwidth cost is
+        unchanged; latency is paid per round.  Default 1.
+    """
+
+    kind: str
+    latency_rounds: int = 1
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("global", "node"):
+            raise PhaseUsageError(
+                f"phase kind must be 'global' or 'node', got {self.kind!r}"
+            )
+        if self.latency_rounds < 1:
+            raise PhaseUsageError(
+                f"latency_rounds must be >= 1, got {self.latency_rounds}"
+            )
+
+
+GLOBAL_PHASE = PhaseDecl("global")
+NODE_PHASE = PhaseDecl("node")
+
+
+def ppm_function(func: Callable) -> Callable:
+    """Mark ``func`` as a PPM function (paper: the ``PPM_function``
+    keyword).
+
+    The decorator validates the shape of the function (its first
+    parameter must be the VP context) and tags it so ``ppm.do`` can
+    distinguish deliberate PPM functions from accidents.  Both
+    generator functions (multi-phase) and plain functions
+    (single-phase) are accepted.
+    """
+    sig = inspect.signature(func)
+    params = list(sig.parameters)
+    if not params:
+        raise PhaseUsageError(
+            f"PPM function {func.__name__!r} must take the VP context as "
+            "its first parameter"
+        )
+    func.__ppm_function__ = True
+    return func
+
+
+def is_ppm_function(func: Callable) -> bool:
+    """True when ``func`` was decorated with :func:`ppm_function`."""
+    return getattr(func, "__ppm_function__", False)

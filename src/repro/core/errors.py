@@ -1,0 +1,35 @@
+"""Exception hierarchy for the PPM runtime."""
+
+from __future__ import annotations
+
+
+class PpmError(Exception):
+    """Base class for all PPM runtime errors."""
+
+
+class SharedAccessError(PpmError):
+    """A shared variable was accessed where the model forbids it —
+    outside any phase from VP code, or written (global-shared) inside a
+    node phase."""
+
+
+class PhaseUsageError(PpmError):
+    """Ill-formed phase structure: VPs of one node declared different
+    phase kinds for the same round, or a phase declaration is invalid."""
+
+
+class VpProgramError(PpmError):
+    """An exception escaped application VP code; carries the node, VP
+    rank and phase index for diagnosis."""
+
+    def __init__(self, message: str, *, node: int, vp_rank: int, phase_index: int) -> None:
+        super().__init__(
+            f"{message} (node {node}, VP node-rank {vp_rank}, phase {phase_index})"
+        )
+        self.node = node
+        self.vp_rank = vp_rank
+        self.phase_index = phase_index
+
+
+class CollectiveUsageError(PpmError):
+    """A phase collective handle was read before its phase committed."""

@@ -1,0 +1,122 @@
+"""Per-phase access recording.
+
+While the VPs of a phase execute, every shared-variable access is
+recorded here; the commit protocol (in
+:mod:`repro.core.runtime`) then applies buffered writes, resolves
+collectives, and feeds the recorded traffic to the bundling and timing
+models.  Nothing in this module computes costs — it only remembers what
+happened, which keeps the semantics/performance split clean.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import TYPE_CHECKING, Callable
+
+from repro.core.collectives import CollectiveSlot
+from repro.core.shared import RowSpec
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.shared import GlobalShared, NodeShared
+
+
+class PhaseRecorder:
+    """Mutable record of one phase's shared-memory activity."""
+
+    def __init__(self, kind: str, latency_rounds: int = 1) -> None:
+        self.kind = kind
+        self.latency_rounds = latency_rounds
+        # node id -> shared -> list[RowSpec]
+        self.global_reads: dict[int, dict["GlobalShared", list[RowSpec]]] = defaultdict(
+            lambda: defaultdict(list)
+        )
+        self.global_writes: dict[int, dict["GlobalShared", list[RowSpec]]] = defaultdict(
+            lambda: defaultdict(list)
+        )
+        # Exact element counts per (node, shared) — row specs overcount
+        # when a tuple index touches only part of each row, so the
+        # aggregator rescales row-derived counts by these.
+        self.global_read_elems: dict[int, dict["GlobalShared", int]] = defaultdict(
+            lambda: defaultdict(int)
+        )
+        self.global_write_elems: dict[int, dict["GlobalShared", int]] = defaultdict(
+            lambda: defaultdict(int)
+        )
+        # Buffered write applications: (global_rank, seq, apply_fn).
+        self.write_ops: list[tuple[int, int, Callable[[], None]]] = []
+        self._seq = 0
+        # node id -> elements written to node-shared instances there.
+        self.node_write_elems: dict[int, int] = defaultdict(int)
+        # node id -> core id -> accumulated VP cpu seconds.
+        self.core_costs: dict[int, dict[int, float]] = defaultdict(lambda: defaultdict(float))
+        # Matched collective slots, in call order.
+        self.collective_slots: list[CollectiveSlot] = []
+        # Statistics.
+        self.read_ops = 0
+        self.read_elems = 0
+        self.write_elems = 0
+
+    # ------------------------------------------------------------------
+    def next_seq(self) -> int:
+        self._seq += 1
+        return self._seq
+
+    def add_global_read(self, node_id: int, shared: "GlobalShared", rows: RowSpec, n_elem: int) -> None:
+        self.global_reads[node_id][shared].append(rows)
+        self.global_read_elems[node_id][shared] += n_elem
+        self.read_ops += 1
+        self.read_elems += n_elem
+
+    def add_global_write(
+        self,
+        node_id: int,
+        shared: "GlobalShared",
+        rows: RowSpec,
+        n_elem: int,
+        global_rank: int,
+        apply_fn: Callable[[], None],
+    ) -> None:
+        self.global_writes[node_id][shared].append(rows)
+        self.global_write_elems[node_id][shared] += n_elem
+        self.write_ops.append((global_rank, self.next_seq(), apply_fn))
+        self.write_elems += n_elem
+
+    def add_node_read(self, n_elem: int) -> None:
+        self.read_ops += 1
+        self.read_elems += n_elem
+
+    def add_node_write(
+        self, node_id: int, n_elem: int, global_rank: int, apply_fn: Callable[[], None]
+    ) -> None:
+        self.node_write_elems[node_id] += n_elem
+        self.write_ops.append((global_rank, self.next_seq(), apply_fn))
+        self.write_elems += n_elem
+
+    def add_vp_cost(self, node_id: int, core_id: int, cost: float) -> None:
+        if cost:
+            self.core_costs[node_id][core_id] += cost
+
+    def collective_slot(self, index: int, kind: str, op) -> CollectiveSlot:
+        """Fetch or create the matched slot for the ``index``-th
+        collective call of a VP in this phase."""
+        while len(self.collective_slots) <= index:
+            self.collective_slots.append(CollectiveSlot(kind, op))
+        slot = self.collective_slots[index]
+        slot.check_compatible(kind, op)
+        return slot
+
+    # ------------------------------------------------------------------
+    def apply_writes(self) -> None:
+        """Commit all buffered writes.
+
+        Writes are applied in increasing (global VP rank, program
+        order), so conflicting plain writes resolve deterministically
+        with the highest-ranked writer winning — the documented PPM
+        conflict rule of this reproduction.
+        """
+        for _rank, _seq, apply_fn in sorted(self.write_ops, key=lambda t: (t[0], t[1])):
+            apply_fn()
+
+    def resolve_collectives(self) -> int:
+        """Resolve all collective slots; returns total contributions."""
+        return sum(slot.resolve() for slot in self.collective_slots)

@@ -1,0 +1,178 @@
+"""Driver-level PPM API: the program object and ``run_ppm``.
+
+A PPM application is a *driver* function receiving a
+:class:`PpmProgram`::
+
+    def main(ppm):
+        A = ppm.global_shared("A", 1000)
+        out = ppm.node_shared("out", 10, dtype=np.int64)
+        ppm.do(10, kernel, A, out)        # PPM_do(10) kernel(A, out)
+        return out.instance(0).copy()
+
+    ppm, result = run_ppm(main, Cluster(franklin(n_nodes=4)))
+
+Driver code runs once (conceptually the replicated SPMD setup that
+every node executes identically); it may access shared variables
+directly — such accesses apply immediately and are not timed, mirroring
+untimed setup in the paper's experiments.  All timed parallel execution
+happens inside ``ppm.do``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.core.runtime import DoStats, PpmRuntime
+from repro.core.shared import GlobalShared, NodeShared
+from repro.machine.cluster import Cluster
+from repro.machine.trace import Trace
+
+
+@dataclass(frozen=True)
+class RunSummary:
+    """Execution statistics of a PPM run: phase counts, bundled
+    communication volume and simulated makespan."""
+
+    global_phases: int
+    node_phases: int
+    messages: int
+    nbytes: int
+    elapsed: float
+
+    def __str__(self) -> str:
+        return (
+            f"{self.global_phases} global / {self.node_phases} node phases, "
+            f"{self.messages} bundled messages, {self.nbytes} bytes, "
+            f"{self.elapsed * 1e3:.3f} ms simulated"
+        )
+
+
+class PpmProgram:
+    """Facade over the runtime, exposing the paper's programming
+    environment: shared-variable declaration, ``PPM_do``, and the
+    system variables."""
+
+    def __init__(self, cluster: Cluster, *, vp_executor: str = "sequential") -> None:
+        self.runtime = PpmRuntime(cluster, vp_executor=vp_executor)
+        self.cluster = cluster
+
+    # -- system variables ----------------------------------------------
+    @property
+    def node_count(self) -> int:
+        """``PPM_node_count``."""
+        return self.cluster.n_nodes
+
+    @property
+    def cores_per_node(self) -> int:
+        """``PPM_cores_per_node``."""
+        return self.cluster.cores_per_node
+
+    @property
+    def config(self):
+        return self.cluster.config
+
+    # -- shared-variable declaration -------------------------------------
+    def global_shared(
+        self, name: str, shape, dtype=np.float64, fill: float | int | None = 0
+    ) -> GlobalShared:
+        """Declare a ``PPM_global_shared`` array (also the dynamic
+        allocation utility of paper section 3.1, item 6)."""
+        handle = GlobalShared(self.runtime, name, shape, dtype, fill)
+        self.runtime.shared_registry[name] = handle
+        return handle
+
+    def node_shared(
+        self, name: str, shape, dtype=np.float64, fill: float | int | None = 0
+    ) -> NodeShared:
+        """Declare a ``PPM_node_shared`` array (one instance per node)."""
+        handle = NodeShared(self.runtime, name, shape, dtype, fill)
+        self.runtime.shared_registry[name] = handle
+        return handle
+
+    # -- execution --------------------------------------------------------
+    def do(
+        self,
+        vp_counts: int | list[int],
+        func: Callable | list[Callable],
+        *args: object,
+        phase: str = "global",
+        latency_rounds: int = 1,
+        **kwargs: object,
+    ) -> DoStats:
+        """``PPM_do(K) func(args)`` — see
+        :meth:`repro.core.runtime.PpmRuntime.do`."""
+        return self.runtime.do(
+            vp_counts,
+            func,
+            *args,
+            phase=phase,
+            latency_rounds=latency_rounds,
+            **kwargs,
+        )
+
+    # -- timing -------------------------------------------------------------
+    @property
+    def elapsed(self) -> float:
+        """Simulated seconds elapsed (maximum node clock)."""
+        return self.cluster.elapsed
+
+    @property
+    def trace(self) -> Trace:
+        """The cluster's event trace."""
+        return self.cluster.trace
+
+    @property
+    def profile(self) -> list:
+        """Per-phase timing breakdowns
+        (:class:`~repro.core.runtime.PhaseProfile` entries)."""
+        return self.runtime.profile
+
+    def reset_clocks(self) -> None:
+        """Zero all clocks (to exclude setup from a measurement)."""
+        self.cluster.reset_clocks()
+
+    def summary(self) -> "RunSummary":
+        """Aggregate execution statistics of everything run so far."""
+        return RunSummary(
+            global_phases=self.runtime.stats_global_phases,
+            node_phases=self.runtime.stats_node_phases,
+            messages=self.trace.total_messages("ppm_global_phase")
+            + self.trace.total_messages("ppm_node_phase"),
+            nbytes=self.trace.total_bytes("ppm_global_phase")
+            + self.trace.total_bytes("ppm_node_phase"),
+            elapsed=self.elapsed,
+        )
+
+
+def run_ppm(
+    main: Callable,
+    cluster: Cluster,
+    *args: object,
+    vp_executor: str = "sequential",
+    **kwargs: object,
+):
+    """Run a PPM application.
+
+    Parameters
+    ----------
+    main:
+        Driver function, called as ``main(ppm, *args, **kwargs)``.
+    cluster:
+        The simulated machine.
+    vp_executor:
+        ``"sequential"`` (default) or ``"threads"`` — run VP phase
+        bodies as real threads (identical results and simulated
+        times; see :class:`~repro.core.runtime.PpmRuntime`).
+
+    Returns
+    -------
+    (PpmProgram, object)
+        The program object (for ``elapsed``, ``trace``, shared
+        registry) and ``main``'s return value.
+    """
+    ppm = PpmProgram(cluster, vp_executor=vp_executor)
+    result = main(ppm, *args, **kwargs)
+    return ppm, result

@@ -1,0 +1,634 @@
+"""The PPM runtime: VP execution engine and commit protocol.
+
+This is the reproduction of the paper's "light-weight runtime library"
+(section 3.4).  It owns:
+
+* the execution of ``PPM_do`` — VP generators advanced in lockstep
+  phase rounds, with node phases running asynchronously per node and
+  global phases synchronising the cluster;
+* the snapshot/commit shared-memory protocol (writes buffered during a
+  phase, applied in deterministic global-VP-rank order at the barrier);
+* cost accounting — per-access software overhead, VP→core loop
+  scheduling, commit-time bundling of remote traffic, comm/compute
+  overlap and NIC scheduling.
+
+Execution is sequential and fully deterministic; simulated time lives
+in the cluster's logical clocks.
+"""
+
+from __future__ import annotations
+
+import inspect
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.config import MachineConfig
+from repro.core.bundling import aggregate_traffic
+from repro.core.collectives import CollectiveHandle
+from repro.core.constructs import PhaseDecl
+from repro.core.errors import PhaseUsageError, SharedAccessError, VpProgramError
+from repro.core.phase import PhaseRecorder
+from repro.core.scheduler import (
+    compose_phase_timing,
+    node_comm_cost,
+    node_compute_time,
+)
+from repro.core.shared import GlobalShared, RowSpec
+from repro.core.vp import VpContext, core_of
+from repro.machine.cluster import Cluster
+from repro.machine.network import ZERO_COST
+
+
+class _VpRecord:
+    """Engine-side state of one virtual processor."""
+
+    __slots__ = ("ctx", "gen", "decl", "done", "phase_index", "last_cost")
+
+    def __init__(self, ctx: VpContext, gen) -> None:
+        self.ctx = ctx
+        self.gen = gen
+        self.decl: PhaseDecl | None = None
+        self.done = False
+        self.phase_index = 0  # phases this VP has completed
+        self.last_cost = 0.0  # measured cost of the previous phase
+
+
+@dataclass(frozen=True)
+class PhaseProfile:
+    """Timing breakdown of one executed phase (one entry per phase in
+    :attr:`PpmRuntime.profile`; node phases carry a single node)."""
+
+    index: int
+    kind: str
+    latency_rounds: int
+    t_end: float
+    node_timings: dict
+    """node id -> :class:`~repro.core.scheduler.PhaseTiming`."""
+
+    @property
+    def busiest_node(self) -> int:
+        """Node with the largest busy time this phase."""
+        return max(self.node_timings, key=lambda n: self.node_timings[n].busy)
+
+
+@dataclass
+class DoStats:
+    """Summary of one ``ppm.do`` invocation."""
+
+    vp_count: int
+    global_phases: int
+    node_phases: int
+    t_start: float
+    t_end: float
+
+    @property
+    def elapsed(self) -> float:
+        """Simulated seconds this ``do`` took."""
+        return self.t_end - self.t_start
+
+
+class PpmRuntime:
+    """Shared-variable registry plus the phase execution engine.
+
+    ``vp_executor`` selects how phase bodies run: ``"sequential"``
+    (default, fully deterministic single-thread engine) or
+    ``"threads"`` — VPs execute as real threads, the paper's "think of
+    them as threads" reading.  Both modes produce identical results
+    and identical simulated times: phase bodies are independent by
+    construction (snapshot reads, buffered writes), recording is
+    lock-protected, and the commit still applies writes in global-VP-
+    rank order.
+    """
+
+    def __init__(self, cluster: Cluster, *, vp_executor: str = "sequential") -> None:
+        if vp_executor not in ("sequential", "threads"):
+            raise ValueError(
+                f"vp_executor must be 'sequential' or 'threads', got {vp_executor!r}"
+            )
+        self.cluster = cluster
+        self.vp_executor = vp_executor
+        self.phase: PhaseRecorder | None = None
+        self.shared_registry: dict[str, object] = {}
+        self.stats_global_phases = 0
+        self.stats_node_phases = 0
+        self._tls = threading.local()
+        self._record_lock = threading.Lock()
+        self._pool: ThreadPoolExecutor | None = None
+        #: Per-phase timing breakdowns, appended as phases commit.
+        self.profile: list[PhaseProfile] = []
+
+    @property
+    def cursor(self) -> VpContext | None:
+        """The VP whose code is executing on *this* thread (None in
+        driver code)."""
+        return getattr(self._tls, "cursor", None)
+
+    @cursor.setter
+    def cursor(self, value: VpContext | None) -> None:
+        self._tls.cursor = value
+
+    @property
+    def config(self) -> MachineConfig:
+        return self.cluster.config
+
+    # ==================================================================
+    # Recording API (called by shared-variable handles and VpContext)
+    # ==================================================================
+    def _require_phase(self) -> PhaseRecorder:
+        if self.phase is None:
+            raise SharedAccessError(
+                "shared variables cannot be accessed in the VP prologue "
+                "(before the first phase declaration)"
+            )
+        return self.phase
+
+    def record_global_read(self, shared: GlobalShared, rows: RowSpec, n_elem: int) -> None:
+        phase = self._require_phase()
+        ctx = self.cursor
+        cfg = self.config
+        ctx._cost += cfg.ppm_access_call_overhead + n_elem * cfg.ppm_access_per_element
+        with self._record_lock:
+            phase.add_global_read(ctx.node_id, shared, rows, n_elem)
+
+    def record_global_write(
+        self, shared: GlobalShared, rows: RowSpec, n_elem: int, apply_fn: Callable[[], None]
+    ) -> None:
+        phase = self._require_phase()
+        if phase.kind == "node":
+            raise SharedAccessError(
+                "global shared variables cannot be written inside a node "
+                "phase; use a global phase"
+            )
+        ctx = self.cursor
+        cfg = self.config
+        ctx._cost += cfg.ppm_access_call_overhead + n_elem * cfg.ppm_access_per_element
+        with self._record_lock:
+            phase.add_global_write(
+                ctx.node_id, shared, rows, n_elem, ctx.global_rank, apply_fn
+            )
+
+    def record_node_read(self, shared, n_elem: int) -> None:
+        phase = self._require_phase()
+        ctx = self.cursor
+        cfg = self.config
+        ctx._cost += cfg.ppm_access_call_overhead + n_elem * cfg.ppm_node_access_per_element
+        with self._record_lock:
+            phase.add_node_read(n_elem)
+
+    def record_node_write(self, shared, n_elem: int, apply_fn: Callable[[], None]) -> None:
+        phase = self._require_phase()
+        ctx = self.cursor
+        cfg = self.config
+        ctx._cost += cfg.ppm_access_call_overhead + n_elem * cfg.ppm_node_access_per_element
+        with self._record_lock:
+            phase.add_node_write(ctx.node_id, n_elem, ctx.global_rank, apply_fn)
+
+    def record_collective(self, ctx: VpContext, kind: str, value: object, op) -> CollectiveHandle:
+        phase = self._require_phase()
+        # In a global phase the collective spans all contributing VPs
+        # cluster-wide; in a node phase it spans the node's VPs only
+        # (the recorder of a node phase belongs to a single node, so
+        # the same slot machinery scopes it naturally).
+        with self._record_lock:
+            slot = phase.collective_slot(ctx._coll_index, kind, op)
+            handle = slot.add(ctx.global_rank, value)
+        ctx._coll_index += 1
+        # Contribution cost: one runtime-library call.
+        ctx._cost += self.config.ppm_access_call_overhead
+        return handle
+
+    # ==================================================================
+    # PPM_do — the engine
+    # ==================================================================
+    def do(
+        self,
+        vp_counts: int | Sequence[int],
+        func: Callable | Sequence[Callable],
+        *args: object,
+        phase: str = "global",
+        latency_rounds: int = 1,
+        **kwargs: object,
+    ) -> DoStats:
+        """Execute ``PPM_do(K) func(args)``.
+
+        ``vp_counts`` is the VP count per node — a single int (same K
+        everywhere) or one int per node.  ``func`` is a PPM function,
+        or one per node (the paper: "the PPM function that is invoked
+        can be different on different nodes").  ``phase`` and
+        ``latency_rounds`` give the implicit single phase of plain
+        (non-generator) functions.
+        """
+        n_nodes = self.cluster.n_nodes
+        counts = self._normalize_counts(vp_counts, n_nodes)
+        funcs = self._normalize_funcs(func, n_nodes)
+        default_decl = PhaseDecl(phase, latency_rounds=latency_rounds)
+
+        vps_by_node: list[list[_VpRecord]] = []
+        global_total = sum(counts)
+        offset = 0
+        for node_id in range(n_nodes):
+            k = counts[node_id]
+            node_vps: list[_VpRecord] = []
+            f = funcs[node_id]
+            genfunc = self._as_generator(f, default_decl) if f is not None else None
+            for r in range(k):
+                ctx = VpContext(
+                    self,
+                    node_id=node_id,
+                    node_rank=r,
+                    global_rank=offset + r,
+                    node_vp_count=k,
+                    global_vp_count=global_total,
+                    core_id=core_of(r, k, self.cluster.cores_per_node),
+                )
+                ctx._coll_index = 0
+                node_vps.append(_VpRecord(ctx, genfunc(ctx, *args, **kwargs)))
+            vps_by_node.append(node_vps)
+            offset += k
+
+        t_start = self.cluster.elapsed
+        g0, n0 = self.stats_global_phases, self.stats_node_phases
+
+        # Prologue round: run code before the first phase declaration.
+        for node_vps in vps_by_node:
+            for vp in node_vps:
+                self._advance(vp)
+
+        # Phase rounds.
+        while True:
+            active_nodes = [
+                node_id
+                for node_id, node_vps in enumerate(vps_by_node)
+                if any(not vp.done for vp in node_vps)
+            ]
+            if not active_nodes:
+                break
+            node_kind: dict[int, str] = {}
+            for node_id in active_nodes:
+                kinds = {
+                    vp.decl.kind for vp in vps_by_node[node_id] if not vp.done
+                }
+                if len(kinds) != 1:
+                    raise PhaseUsageError(
+                        f"VPs on node {node_id} declared mixed phase kinds "
+                        f"{sorted(kinds)} for the same round; all VPs of a "
+                        "node must agree"
+                    )
+                node_kind[node_id] = next(iter(kinds))
+            node_phase_nodes = [n for n in active_nodes if node_kind[n] == "node"]
+            if node_phase_nodes:
+                # Nodes in node phases proceed asynchronously; nodes
+                # waiting at a global phase stall until everyone reaches
+                # it (paper section 3.3, synchronous/asynchronous modes).
+                for node_id in node_phase_nodes:
+                    self._run_node_phase(node_id, vps_by_node[node_id])
+            else:
+                self._run_global_phase(vps_by_node, active_nodes)
+
+        return DoStats(
+            vp_count=global_total,
+            global_phases=self.stats_global_phases - g0,
+            node_phases=self.stats_node_phases - n0,
+            t_start=t_start,
+            t_end=self.cluster.elapsed,
+        )
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _normalize_counts(vp_counts, n_nodes: int) -> list[int]:
+        if isinstance(vp_counts, (int,)):
+            if vp_counts < 0:
+                raise ValueError(f"VP count must be non-negative, got {vp_counts}")
+            return [vp_counts] * n_nodes
+        counts = [int(k) for k in vp_counts]
+        if len(counts) != n_nodes:
+            raise ValueError(
+                f"per-node VP counts must have length {n_nodes}, got {len(counts)}"
+            )
+        if any(k < 0 for k in counts):
+            raise ValueError(f"VP counts must be non-negative, got {counts}")
+        return counts
+
+    @staticmethod
+    def _normalize_funcs(func, n_nodes: int) -> list[Callable | None]:
+        if callable(func):
+            return [func] * n_nodes
+        funcs = list(func)
+        if len(funcs) != n_nodes:
+            raise ValueError(
+                f"per-node functions must have length {n_nodes}, got {len(funcs)}"
+            )
+        return funcs
+
+    @staticmethod
+    def _as_generator(func: Callable, default_decl: PhaseDecl) -> Callable:
+        if inspect.isgeneratorfunction(func):
+            return func
+
+        def single_phase(ctx, *args, **kwargs):
+            yield default_decl
+            result = func(ctx, *args, **kwargs)
+            if inspect.isgenerator(result):
+                raise PhaseUsageError(
+                    f"{getattr(func, '__name__', func)!r} returned a generator: "
+                    "it wraps a multi-phase PPM function but is not itself a "
+                    "generator function, so its phases would never run.  Use "
+                    "functools.partial (or a generator function with "
+                    "'yield from') instead of a plain lambda/def wrapper."
+                )
+
+        single_phase.__name__ = getattr(func, "__name__", "ppm_function")
+        return single_phase
+
+    # ------------------------------------------------------------------
+    def _advance(self, vp: _VpRecord) -> None:
+        """Resume one VP generator: executes the body of its current
+        phase (or the prologue) up to the next phase declaration."""
+        if vp.done:
+            return
+        self.cursor = vp.ctx
+        try:
+            decl = next(vp.gen)
+        except StopIteration:
+            vp.done = True
+            vp.decl = None
+            return
+        except Exception as exc:
+            raise VpProgramError(
+                f"VP code raised {type(exc).__name__}: {exc}",
+                node=vp.ctx.node_id,
+                vp_rank=vp.ctx.node_rank,
+                phase_index=vp.phase_index,
+            ) from exc
+        finally:
+            self.cursor = None
+        if not isinstance(decl, PhaseDecl):
+            raise PhaseUsageError(
+                f"PPM functions must yield phase declarations "
+                f"(ctx.global_phase / ctx.node_phase); got {decl!r}"
+            )
+        vp.decl = decl
+        vp.phase_index += 1
+
+    def _execute_phase_bodies(
+        self, recorder: PhaseRecorder, vps: list[_VpRecord]
+    ) -> None:
+        """Run the pending phase body of every listed VP, accumulating
+        per-core costs into the recorder."""
+        self._assign_cores(vps)
+        self.phase = recorder
+        try:
+            if self.vp_executor == "threads":
+                self._execute_threaded(recorder, vps)
+            else:
+                for vp in vps:
+                    if vp.done:
+                        continue
+                    ctx = vp.ctx
+                    ctx._cost = 0.0
+                    ctx._coll_index = 0
+                    self._advance(vp)
+                    recorder.add_vp_cost(ctx.node_id, ctx.core_id, ctx._cost)
+                    vp.last_cost = ctx._cost
+                    ctx._cost = 0.0
+        finally:
+            self.phase = None
+
+    def _assign_cores(self, vps: list[_VpRecord]) -> None:
+        """Optionally rebalance the VP->core mapping for this phase.
+
+        With ``config.load_balancing`` the runtime uses each VP's
+        measured cost from the previous phase to pack VPs onto cores
+        greedily (longest processing time first) — the paper's
+        "optimizations such as load balancing" enabled by processor
+        virtualisation.  Deterministic: ties break on VP rank and core
+        id.  Off by default (static contiguous loop chunks).
+        """
+        if not self.config.load_balancing:
+            return
+        cores = self.cluster.cores_per_node
+        by_node: dict[int, list[_VpRecord]] = {}
+        for vp in vps:
+            if not vp.done:
+                by_node.setdefault(vp.ctx.node_id, []).append(vp)
+        for node_vps in by_node.values():
+            if not any(vp.last_cost for vp in node_vps):
+                continue  # no history yet: keep the static chunks
+            order = sorted(
+                node_vps, key=lambda v: (-v.last_cost, v.ctx.node_rank)
+            )
+            loads = [0.0] * cores
+            for vp in order:
+                core = min(range(cores), key=lambda c: (loads[c], c))
+                vp.ctx.core_id = core
+                loads[core] += vp.last_cost
+
+    def _execute_threaded(self, recorder: PhaseRecorder, vps: list[_VpRecord]) -> None:
+        """Run phase bodies as real threads (the paper's VPs-as-
+        threads reading).  Results and times match the sequential
+        engine: bodies only see the snapshot, recording is locked, and
+        the rank-ordered commit makes the outcome order-independent."""
+        if self._pool is None:
+            import os
+
+            self._pool = ThreadPoolExecutor(
+                max_workers=max(2, min(16, os.cpu_count() or 4)),
+                thread_name_prefix="ppm-vp",
+            )
+
+        def run_one(vp: _VpRecord):
+            if vp.done:
+                return None
+            ctx = vp.ctx
+            ctx._cost = 0.0
+            ctx._coll_index = 0
+            try:
+                self._advance(vp)
+            except BaseException as exc:  # noqa: BLE001 - re-raised below
+                return exc
+            with self._record_lock:
+                recorder.add_vp_cost(ctx.node_id, ctx.core_id, ctx._cost)
+            vp.last_cost = ctx._cost
+            ctx._cost = 0.0
+            return None
+
+        errors = list(self._pool.map(run_one, vps))
+        for vp, err in zip(vps, errors):
+            if err is not None:
+                raise err
+
+    # ------------------------------------------------------------------
+    def _run_global_phase(
+        self, vps_by_node: list[list[_VpRecord]], active_nodes: list[int]
+    ) -> None:
+        latency_rounds = max(
+            vp.decl.latency_rounds
+            for n in active_nodes
+            for vp in vps_by_node[n]
+            if not vp.done
+        )
+        recorder = PhaseRecorder("global", latency_rounds)
+        body_vps = [vp for n in active_nodes for vp in vps_by_node[n]]
+        self._execute_phase_bodies(recorder, body_vps)
+
+        # Commit: writes in rank order, then collectives.
+        recorder.apply_writes()
+        n_contrib = recorder.resolve_collectives()
+
+        cfg = self.config
+        net = self.cluster.network
+        traffic = aggregate_traffic(recorder, self.cluster.n_nodes)
+
+        in_cpu: dict[int, float] = {}
+        comm_costs = {}
+        total_msgs = 0
+        total_bytes = 0
+        for node_id, nt in traffic.items():
+            cost = node_comm_cost(net, nt, latency_rounds=recorder.latency_rounds)
+            comm_costs[node_id] = cost
+            total_msgs += cost.messages
+            total_bytes += cost.payload_bytes
+            for p in nt.peers:
+                elems = p.read_elems + p.write_elems
+                if elems == 0:
+                    continue
+                # Owner-side software: message handling plus applying
+                # scattered elements into its partition.
+                per_peer = node_comm_cost(
+                    net,
+                    type(nt)(node_id=node_id, peers=[p]),
+                    latency_rounds=recorder.latency_rounds,
+                )
+                in_cpu[p.owner] = in_cpu.get(p.owner, 0.0) + (
+                    per_peer.messages * cfg.mpi_msg_overhead
+                    + p.write_elems * cfg.ppm_commit_per_element
+                )
+
+        # Per-node busy time, then cluster-wide barrier.
+        t_end = 0.0
+        node_timings = {}
+        for node in self.cluster:
+            node_id = node.node_id
+            compute = node_compute_time(recorder.core_costs.get(node_id, {}))
+            nt = traffic.get(node_id)
+            commit_cpu = recorder.node_write_elems.get(node_id, 0) * cfg.ppm_commit_per_element
+            if nt is not None:
+                commit_cpu += nt.local_write_elems * cfg.ppm_commit_per_element
+            timing = compose_phase_timing(
+                cfg,
+                net,
+                compute=compute,
+                commit_cpu=commit_cpu,
+                comm_cost=comm_costs.get(node_id, ZERO_COST),
+                extra_comm_cpu=in_cpu.get(node_id, 0.0),
+            )
+            node_timings[node_id] = timing
+            t_end = max(t_end, node.clock.now + timing.busy)
+
+        # Phase-closing synchronisation: a phase with collectives fuses
+        # the reduction into its barrier tree (one sweep up, one down);
+        # otherwise a plain barrier suffices.
+        if recorder.collective_slots:
+            t_end += net.allreduce_time(self.cluster.n_nodes, cfg.element_bytes)
+        else:
+            t_end += net.barrier_time(self.cluster.n_nodes)
+
+        for node in self.cluster:
+            node.clock.merge(t_end)
+            for c in node.core_clocks:
+                c.merge(t_end)
+
+        self.stats_global_phases += 1
+        self.profile.append(
+            PhaseProfile(
+                index=self.stats_global_phases + self.stats_node_phases - 1,
+                kind="global",
+                latency_rounds=recorder.latency_rounds,
+                t_end=t_end,
+                node_timings=node_timings,
+            )
+        )
+        self.cluster.trace.record(
+            "ppm_global_phase",
+            -1,
+            t_end,
+            messages=total_msgs,
+            nbytes=total_bytes,
+            detail=f"vps={len(body_vps)} collectives={n_contrib}",
+        )
+
+    # ------------------------------------------------------------------
+    def _run_node_phase(self, node_id: int, node_vps: list[_VpRecord]) -> None:
+        latency_rounds = max(
+            vp.decl.latency_rounds for vp in node_vps if not vp.done
+        )
+        recorder = PhaseRecorder("node", latency_rounds)
+        self._execute_phase_bodies(recorder, node_vps)
+
+        recorder.apply_writes()
+        recorder.resolve_collectives()
+
+        cfg = self.config
+        net = self.cluster.network
+        node = self.cluster.node(node_id)
+
+        # Global-shared *reads* are permitted in node phases; their
+        # fetch traffic is charged here (writes were rejected earlier).
+        traffic = aggregate_traffic(recorder, self.cluster.n_nodes)
+        nt = traffic.get(node_id)
+        comm_cost = (
+            node_comm_cost(net, nt, latency_rounds=recorder.latency_rounds)
+            if nt is not None
+            else ZERO_COST
+        )
+        if nt is not None:
+            for p in nt.peers:
+                # Owner-side service cost lands on the owner's clock.
+                per_peer = node_comm_cost(
+                    net,
+                    type(nt)(node_id=node_id, peers=[p]),
+                    latency_rounds=recorder.latency_rounds,
+                )
+                self.cluster.node(p.owner).clock.advance(
+                    per_peer.messages * cfg.mpi_msg_overhead
+                )
+
+        compute = node_compute_time(recorder.core_costs.get(node_id, {}))
+        commit_cpu = recorder.node_write_elems.get(node_id, 0) * cfg.ppm_commit_per_element
+        if nt is not None:
+            commit_cpu += nt.local_write_elems * cfg.ppm_commit_per_element
+        timing = compose_phase_timing(
+            cfg, net, compute=compute, commit_cpu=commit_cpu, comm_cost=comm_cost
+        )
+        # Node-level synchronisation: a reduction tree over the node's
+        # cores when the phase carried collectives, a plain barrier
+        # otherwise.
+        if recorder.collective_slots:
+            sync = net.allreduce_time(
+                self.cluster.cores_per_node, cfg.element_bytes, intra_node=True
+            )
+        else:
+            sync = net.barrier_time(self.cluster.cores_per_node)
+        node.clock.advance(timing.busy + sync)
+        for c in node.core_clocks:
+            c.merge(node.clock.now)
+
+        self.stats_node_phases += 1
+        self.profile.append(
+            PhaseProfile(
+                index=self.stats_global_phases + self.stats_node_phases - 1,
+                kind="node",
+                latency_rounds=recorder.latency_rounds,
+                t_end=node.clock.now,
+                node_timings={node_id: timing},
+            )
+        )
+        self.cluster.trace.record(
+            "ppm_node_phase",
+            node_id,
+            node.clock.now,
+            messages=comm_cost.messages,
+            nbytes=comm_cost.payload_bytes,
+        )

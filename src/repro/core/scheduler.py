@@ -1,0 +1,113 @@
+"""Phase timing composition: cores, communication, overlap.
+
+The runtime maps VPs onto cores as contiguous loop chunks
+(:func:`repro.core.vp.core_of`); a phase's node-level compute time is
+therefore the maximum per-core sum of VP costs.  Communication time
+comes from the bundled traffic; the runtime hides a configurable
+fraction of it under the computation (paper section 3.3: "scheduling
+communication needs and computation tasks to enable (automatic)
+overlap of computation and communication").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import MachineConfig
+from repro.core.bundling import NodeTraffic
+from repro.machine.network import ZERO_COST, BundleCost, NetworkModel
+
+
+@dataclass(frozen=True)
+class PhaseTiming:
+    """Timing breakdown of one phase on one node."""
+
+    compute: float
+    commit_cpu: float
+    comm: float
+    overlapped: float
+
+    @property
+    def busy(self) -> float:
+        """Seconds the node is busy with this phase (before barrier)."""
+        return self.compute + self.commit_cpu + self.comm - self.overlapped
+
+
+def node_compute_time(core_costs: dict[int, float]) -> float:
+    """Node compute time: the slowest core's accumulated VP cost."""
+    if not core_costs:
+        return 0.0
+    return max(core_costs.values())
+
+
+def node_comm_cost(
+    network: NetworkModel,
+    traffic: NodeTraffic,
+    *,
+    latency_rounds: int = 1,
+) -> BundleCost:
+    """Bundled communication cost of one node's phase traffic.
+
+    The runtime issues the bundles for all peers concurrently, so
+    network *latency* is paid once per serialised fetch round (a
+    request/reply pair, times ``latency_rounds`` for data-driven
+    chains), while *bandwidth* is serialised through the node's NIC
+    (total bytes times beta) and per-message CPU overhead accumulates
+    over every bundle.
+    """
+    cfg = network.config
+    msgs = 0
+    nbytes = 0
+    has_reads = False
+    has_writes = False
+    for p in traffic.peers:
+        if p.read_elems:
+            has_reads = True
+            req = network.bundle(p.read_elems, False, element_bytes=0, with_index=True)
+            rep = network.bundle(
+                p.read_elems, False, element_bytes=p.shared.itemsize, with_index=False
+            )
+            msgs += req.messages + rep.messages
+            nbytes += req.payload_bytes + rep.payload_bytes
+        if p.write_elems:
+            has_writes = True
+            wb = network.bundle(
+                p.write_elems, False, element_bytes=p.shared.itemsize, with_index=True
+            )
+            msgs += wb.messages
+            nbytes += wb.payload_bytes
+    if msgs == 0:
+        return ZERO_COST
+    latency_hops = 0
+    if has_reads:
+        latency_hops += 2 * latency_rounds  # request + reply per round
+    if has_writes:
+        latency_hops += 1
+    wire = nbytes * cfg.net_beta + latency_hops * cfg.net_alpha
+    cpu = msgs * cfg.mpi_msg_overhead
+    return BundleCost(messages=msgs, payload_bytes=nbytes, wire_time=wire, cpu_time=cpu)
+
+
+def compose_phase_timing(
+    config: MachineConfig,
+    network: NetworkModel,
+    *,
+    compute: float,
+    commit_cpu: float,
+    comm_cost: BundleCost,
+    extra_comm_cpu: float = 0.0,
+) -> PhaseTiming:
+    """Combine compute, commit and communication into a node's phase
+    timing, applying NIC scheduling/contention and overlap."""
+    if config.nic_scheduling:
+        factor = 1.0
+    else:
+        factor = network.contention_factor(config.cores_per_node)
+    comm = comm_cost.wire_time * factor + comm_cost.cpu_time + extra_comm_cpu
+    if config.overlap_fraction > 0.0:
+        overlapped = min(comm, config.overlap_fraction * compute)
+    else:
+        overlapped = 0.0
+    return PhaseTiming(
+        compute=compute, commit_cpu=commit_cpu, comm=comm, overlapped=overlapped
+    )

@@ -1,0 +1,339 @@
+"""PPM shared variables: global-shared and node-shared arrays.
+
+Two kinds, exactly as in the paper (section 3.1, item 1):
+
+* :class:`GlobalShared` — *one* variable shared across the whole
+  cluster through virtual shared memory, block-distributed over the
+  nodes along axis 0;
+* :class:`NodeShared` — *one instance per node* (the paper: "multiple
+  variables of the same name are declared, one for each physical
+  node"), living in the node's physical shared memory.
+
+Both support numpy "array syntax ... as in the mathematical
+algorithms" (paper section 3: "Implicit communication").  Inside a
+phase, reads return the phase-start snapshot and writes are buffered
+until the commit at the phase barrier; outside any phase (driver-level
+setup code) accesses apply directly and are not timed.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.core.errors import SharedAccessError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.runtime import PpmRuntime
+
+#: Accumulate operators accepted by ``accumulate`` (applied with the
+#: matching ``np.ufunc.at``, so duplicate indices combine correctly).
+ACCUMULATE_UFUNCS = {
+    "add": np.add,
+    "subtract": np.subtract,
+    "minimum": np.minimum,
+    "maximum": np.maximum,
+    "multiply": np.multiply,
+}
+
+
+class RowSpec:
+    """Rows (axis-0 indices) touched by one access, in either a cheap
+    contiguous-range form or a materialised index-array form."""
+
+    __slots__ = ("start", "stop", "array")
+
+    def __init__(self, start: int = 0, stop: int = 0, array: np.ndarray | None = None) -> None:
+        self.start = start
+        self.stop = stop
+        self.array = array
+
+    @classmethod
+    def from_range(cls, start: int, stop: int) -> "RowSpec":
+        return cls(start=start, stop=max(start, stop))
+
+    @classmethod
+    def from_array(cls, array: np.ndarray) -> "RowSpec":
+        return cls(array=array)
+
+    @property
+    def count(self) -> int:
+        if self.array is not None:
+            return int(self.array.size)
+        return self.stop - self.start
+
+    def materialize(self) -> np.ndarray:
+        """Rows as an int64 array."""
+        if self.array is not None:
+            return self.array
+        return np.arange(self.start, self.stop, dtype=np.int64)
+
+
+def _normalize_rows(idx: object, n0: int) -> RowSpec:
+    """Rows along axis 0 referenced by index expression ``idx``."""
+    head = idx[0] if isinstance(idx, tuple) else idx
+    if isinstance(head, (int, np.integer)):
+        i = int(head)
+        if i < 0:
+            i += n0
+        if not 0 <= i < n0:
+            raise IndexError(f"row index {head} out of range for axis of length {n0}")
+        return RowSpec.from_range(i, i + 1)
+    if isinstance(head, slice):
+        start, stop, step = head.indices(n0)
+        if step == 1:
+            return RowSpec.from_range(start, stop)
+        return RowSpec.from_array(np.arange(start, stop, step, dtype=np.int64))
+    if head is Ellipsis:
+        return RowSpec.from_range(0, n0)
+    arr = np.asarray(head)
+    if arr.dtype == bool:
+        if arr.shape[0] != n0:
+            raise IndexError(
+                f"boolean mask of length {arr.shape[0]} does not match axis of length {n0}"
+            )
+        return RowSpec.from_array(np.nonzero(arr)[0].astype(np.int64))
+    arr = arr.astype(np.int64, copy=False).ravel()
+    if arr.size and (arr.min() < -n0 or arr.max() >= n0):
+        raise IndexError(f"row indices out of range for axis of length {n0}")
+    if arr.size and arr.min() < 0:
+        arr = np.where(arr < 0, arr + n0, arr)
+    return RowSpec.from_array(arr)
+
+
+class _SharedBase:
+    """Common machinery of both shared-variable kinds."""
+
+    def __init__(self, runtime: "PpmRuntime", name: str, shape: tuple[int, ...], dtype) -> None:
+        if isinstance(shape, (int, np.integer)):
+            shape = (int(shape),)
+        shape = tuple(int(s) for s in shape)
+        if not shape or any(s < 0 for s in shape):
+            raise ValueError(f"invalid shared-array shape {shape}")
+        self.runtime = runtime
+        self.name = name
+        self.shape = shape
+        self.dtype = np.dtype(dtype)
+        self._trailing = int(np.prod(shape[1:], dtype=np.int64)) if len(shape) > 1 else 1
+
+    @property
+    def itemsize(self) -> int:
+        return self.dtype.itemsize
+
+    def _count_elements(self, idx: object, rows: RowSpec, data: np.ndarray) -> int:
+        """Elements touched by ``idx`` (exact for tuple indices)."""
+        if isinstance(idx, tuple) and len(idx) > 1:
+            probe = data[idx]
+            return int(probe.size) if isinstance(probe, np.ndarray) else 1
+        return rows.count * self._trailing
+
+    @staticmethod
+    def _copy_out(value):
+        """Snapshot-read results must not alias the committed store."""
+        if isinstance(value, np.ndarray):
+            return value.copy()
+        return value
+
+
+class GlobalShared(_SharedBase):
+    """A cluster-level shared array (``PPM_global_shared``).
+
+    Axis 0 is block-distributed over the nodes; :meth:`owner_of` and
+    :meth:`local_range` expose the distribution, which the runtime
+    manages automatically (paper: "Automatic data distribution and
+    locality management").
+    """
+
+    def __init__(self, runtime: "PpmRuntime", name: str, shape, dtype=np.float64, fill=0) -> None:
+        super().__init__(runtime, name, shape, dtype)
+        n_nodes = runtime.cluster.n_nodes
+        n0 = self.shape[0]
+        if fill is None:
+            self._data = np.empty(self.shape, dtype=self.dtype)
+        else:
+            self._data = np.full(self.shape, fill, dtype=self.dtype)
+        # Block partition boundaries: node i owns rows
+        # [starts[i], starts[i+1]).
+        self._starts = np.array(
+            [(i * n0) // n_nodes for i in range(n_nodes + 1)], dtype=np.int64
+        )
+        # Expose each node's block in its physical memory map.
+        for node in runtime.cluster:
+            lo, hi = self._starts[node.node_id], self._starts[node.node_id + 1]
+            node.memory.adopt(f"gshared:{name}", self._data[lo:hi])
+
+    # -- distribution ----------------------------------------------------
+    def owner_of(self, rows: np.ndarray | int) -> np.ndarray | int:
+        """Owning node id(s) of the given axis-0 row(s)."""
+        scalar = np.isscalar(rows) or isinstance(rows, (int, np.integer))
+        r = np.atleast_1d(np.asarray(rows, dtype=np.int64))
+        owners = np.searchsorted(self._starts, r, side="right") - 1
+        return int(owners[0]) if scalar else owners
+
+    def local_range(self, node_id: int) -> tuple[int, int]:
+        """Half-open row range owned by ``node_id``."""
+        if not 0 <= node_id < self.runtime.cluster.n_nodes:
+            raise IndexError(f"node id {node_id} out of range")
+        return int(self._starts[node_id]), int(self._starts[node_id + 1])
+
+    def local_view(self, node_id: int) -> np.ndarray:
+        """Zero-copy view of a node's owned block.
+
+        This is the paper's node↔global *cast* utility: it bypasses the
+        phase access protocol, so it must only be used in driver-level
+        setup/teardown code, never inside VP phases.
+        """
+        if self.runtime.cursor is not None:
+            raise SharedAccessError(
+                "local_view bypasses phase semantics and is only legal in "
+                "driver code, not inside a phase"
+            )
+        lo, hi = self.local_range(node_id)
+        return self._data[lo:hi]
+
+    # -- access ----------------------------------------------------------
+    def __getitem__(self, idx):
+        cur = self.runtime.cursor
+        if cur is None:
+            return self._copy_out(self._data[idx])
+        rows = _normalize_rows(idx, self.shape[0])
+        n_elem = self._count_elements(idx, rows, self._data)
+        self.runtime.record_global_read(self, rows, n_elem)
+        return self._copy_out(self._data[idx])
+
+    def __setitem__(self, idx, value) -> None:
+        cur = self.runtime.cursor
+        if cur is None:
+            self._data[idx] = value
+            return
+        rows = _normalize_rows(idx, self.shape[0])
+        n_elem = self._count_elements(idx, rows, self._data)
+        value_copy = np.array(value, dtype=self.dtype, copy=True) if isinstance(value, np.ndarray) else value
+        data = self._data
+
+        def apply(_idx=idx, _v=value_copy):
+            data[_idx] = _v
+
+        self.runtime.record_global_write(self, rows, n_elem, apply)
+
+    def accumulate(self, rows, values, op: str = "add") -> None:
+        """Combine ``values`` into ``self[rows]`` at phase commit with a
+        commutative operator; duplicate rows combine (via ``ufunc.at``)
+        instead of overwriting.  Outside a phase, applies immediately."""
+        try:
+            ufunc = ACCUMULATE_UFUNCS[op]
+        except KeyError:
+            raise ValueError(
+                f"unknown accumulate op {op!r}; expected one of {sorted(ACCUMULATE_UFUNCS)}"
+            ) from None
+        cur = self.runtime.cursor
+        if cur is None:
+            ufunc.at(self._data, rows, values)
+            return
+        spec = _normalize_rows(rows, self.shape[0])
+        n_elem = spec.count * self._trailing
+        vals = np.array(values, dtype=self.dtype, copy=True) if isinstance(values, np.ndarray) else values
+        data = self._data
+
+        def apply(_rows=rows, _v=vals):
+            ufunc.at(data, _rows, _v)
+
+        self.runtime.record_global_write(self, spec, n_elem, apply)
+
+    @property
+    def committed(self) -> np.ndarray:
+        """Read-only copy of the committed state (driver/test helper)."""
+        return self._data.copy()
+
+    def __len__(self) -> int:
+        return self.shape[0]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"GlobalShared({self.name!r}, shape={self.shape}, dtype={self.dtype})"
+
+
+class NodeShared(_SharedBase):
+    """A node-level shared array (``PPM_node_shared``): one independent
+    instance per node, stored in that node's physical shared memory.
+
+    Inside VP code, plain indexing addresses *the executing VP's node's*
+    instance.  Driver code must pick an instance explicitly with
+    :meth:`instance`.
+    """
+
+    def __init__(self, runtime: "PpmRuntime", name: str, shape, dtype=np.float64, fill=0) -> None:
+        super().__init__(runtime, name, shape, dtype)
+        self._data: list[np.ndarray] = []
+        for node in runtime.cluster:
+            if fill is None:
+                arr = np.empty(self.shape, dtype=self.dtype)
+            else:
+                arr = np.full(self.shape, fill, dtype=self.dtype)
+            node.memory.adopt(f"nshared:{name}", arr)
+            self._data.append(arr)
+
+    def instance(self, node_id: int) -> np.ndarray:
+        """Direct handle on one node's instance (driver code only)."""
+        if self.runtime.cursor is not None:
+            raise SharedAccessError(
+                "NodeShared.instance is driver-level; VP code must use "
+                "plain indexing, which addresses its own node's instance"
+            )
+        if not 0 <= node_id < len(self._data):
+            raise IndexError(f"node id {node_id} out of range")
+        return self._data[node_id]
+
+    def _current_node(self) -> int:
+        cur = self.runtime.cursor
+        if cur is None:
+            raise SharedAccessError(
+                "node-shared access outside a phase must go through "
+                ".instance(node_id)"
+            )
+        return cur.node_id
+
+    def __getitem__(self, idx):
+        node = self._current_node()
+        data = self._data[node]
+        rows = _normalize_rows(idx, self.shape[0])
+        n_elem = self._count_elements(idx, rows, data)
+        self.runtime.record_node_read(self, n_elem)
+        return self._copy_out(data[idx])
+
+    def __setitem__(self, idx, value) -> None:
+        node = self._current_node()
+        data = self._data[node]
+        rows = _normalize_rows(idx, self.shape[0])
+        n_elem = self._count_elements(idx, rows, data)
+        value_copy = np.array(value, dtype=self.dtype, copy=True) if isinstance(value, np.ndarray) else value
+
+        def apply(_idx=idx, _v=value_copy, _data=data):
+            _data[_idx] = _v
+
+        self.runtime.record_node_write(self, n_elem, apply)
+
+    def accumulate(self, rows, values, op: str = "add") -> None:
+        """Node-level analogue of :meth:`GlobalShared.accumulate`."""
+        try:
+            ufunc = ACCUMULATE_UFUNCS[op]
+        except KeyError:
+            raise ValueError(
+                f"unknown accumulate op {op!r}; expected one of {sorted(ACCUMULATE_UFUNCS)}"
+            ) from None
+        node = self._current_node()
+        data = self._data[node]
+        spec = _normalize_rows(rows, self.shape[0])
+        n_elem = spec.count * self._trailing
+        vals = np.array(values, dtype=self.dtype, copy=True) if isinstance(values, np.ndarray) else values
+
+        def apply(_rows=rows, _v=vals, _data=data):
+            ufunc.at(_data, _rows, _v)
+
+        self.runtime.record_node_write(self, n_elem, apply)
+
+    def __len__(self) -> int:
+        return self.shape[0]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"NodeShared({self.name!r}, shape={self.shape}, dtype={self.dtype})"

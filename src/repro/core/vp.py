@@ -1,0 +1,147 @@
+"""Virtual processors and their execution context.
+
+PPM programs are written for an unbounded number of *virtual
+processors* (paper section 3: "Virtualization of processors").  Each VP
+executing a PPM function receives a :class:`VpContext` carrying its
+identity (the ranks the paper exposes as ``PPM_VP_node_rank`` and
+``PPM_VP_global_rank``), the system variables, phase declarations and
+the cost-charging / collective entry points.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+from repro.core.constructs import GLOBAL_PHASE, NODE_PHASE, PhaseDecl
+from repro.core.errors import PhaseUsageError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.collectives import CollectiveHandle
+    from repro.core.runtime import PpmRuntime
+
+
+class VpContext:
+    """Identity and services of one virtual processor.
+
+    Application code must not construct these; ``ppm.do`` does.
+    """
+
+    __slots__ = (
+        "runtime",
+        "node_id",
+        "node_rank",
+        "global_rank",
+        "node_vp_count",
+        "global_vp_count",
+        "core_id",
+        "_cost",
+        "_coll_index",
+    )
+
+    def __init__(
+        self,
+        runtime: "PpmRuntime",
+        *,
+        node_id: int,
+        node_rank: int,
+        global_rank: int,
+        node_vp_count: int,
+        global_vp_count: int,
+        core_id: int,
+    ) -> None:
+        self.runtime = runtime
+        self.node_id = node_id
+        self.node_rank = node_rank
+        self.global_rank = global_rank
+        self.node_vp_count = node_vp_count
+        self.global_vp_count = global_vp_count
+        self.core_id = core_id
+        self._cost = 0.0  # simulated CPU seconds accrued this phase
+        self._coll_index = 0  # collective-call matching counter
+
+    # ------------------------------------------------------------------
+    # System variables (paper section 3.1, item 5)
+    # ------------------------------------------------------------------
+    @property
+    def node_count(self) -> int:
+        """``PPM_node_count``."""
+        return self.runtime.cluster.n_nodes
+
+    @property
+    def cores_per_node(self) -> int:
+        """``PPM_cores_per_node``."""
+        return self.runtime.cluster.cores_per_node
+
+    # ------------------------------------------------------------------
+    # Phase declarations (paper section 3.1, item 4)
+    # ------------------------------------------------------------------
+    @property
+    def global_phase(self) -> PhaseDecl:
+        """Declaration opening a cluster-level phase."""
+        return GLOBAL_PHASE
+
+    @property
+    def node_phase(self) -> PhaseDecl:
+        """Declaration opening a node-level phase."""
+        return NODE_PHASE
+
+    def phase(self, kind: str, *, latency_rounds: int = 1) -> PhaseDecl:
+        """Phase declaration with runtime hints (see
+        :class:`~repro.core.constructs.PhaseDecl`)."""
+        return PhaseDecl(kind, latency_rounds=latency_rounds)
+
+    # ------------------------------------------------------------------
+    # Cost charging
+    # ------------------------------------------------------------------
+    def work(self, flops: float) -> None:
+        """Charge ``flops`` floating-point operations to this VP."""
+        if flops < 0:
+            raise ValueError(f"flops must be non-negative, got {flops}")
+        self._cost += flops * self.runtime.config.flop_time
+
+    def mem_work(self, accesses: float) -> None:
+        """Charge ``accesses`` irregular local memory accesses."""
+        if accesses < 0:
+            raise ValueError(f"accesses must be non-negative, got {accesses}")
+        self._cost += accesses * self.runtime.config.mem_access_time
+
+    # ------------------------------------------------------------------
+    # Phase collectives (paper section 3.1, item 6: utility functions)
+    # ------------------------------------------------------------------
+    def reduce(self, value: object, op: str | Callable = "sum") -> "CollectiveHandle":
+        """Contribute ``value`` to a reduction over the VPs of the
+        current phase — cluster-wide in a global phase, this node's
+        VPs only in a node phase.  The combined result becomes
+        available on the returned handle after the phase commits (read
+        it in a later phase or after ``ppm.do`` returns)."""
+        return self.runtime.record_collective(self, "reduce", value, op)
+
+    def scan(self, value: object, op: str | Callable = "sum") -> "CollectiveHandle":
+        """Inclusive parallel-prefix over the phase's VPs in
+        global-rank order (same scoping as :meth:`reduce`); this VP's
+        prefix appears on the handle after commit."""
+        return self.runtime.record_collective(self, "scan", value, op)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"VpContext(node={self.node_id}, node_rank={self.node_rank}, "
+            f"global_rank={self.global_rank})"
+        )
+
+
+def core_of(local_rank: int, vp_count: int, cores: int) -> int:
+    """Core hosting VP ``local_rank`` of ``vp_count`` on a node with
+    ``cores`` cores.
+
+    The runtime converts VP work into loops over contiguous chunks
+    (paper section 3.4: "the PPM compiler converts the work of multiple
+    virtual processors into loops ... which can then be assigned to the
+    processor cores"), so VPs map to cores in contiguous blocks.
+    """
+    if not 0 <= local_rank < vp_count:
+        raise PhaseUsageError(
+            f"VP local rank {local_rank} out of range [0, {vp_count})"
+        )
+    if cores < 1:
+        raise PhaseUsageError(f"cores must be >= 1, got {cores}")
+    return min(local_rank * cores // vp_count, cores - 1)

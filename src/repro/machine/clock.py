@@ -1,0 +1,61 @@
+"""Logical clocks for simulated-time accounting.
+
+Every simulated entity (an MPI rank, a PPM node, a core) owns a
+:class:`LogicalClock`.  Clocks only move forward; synchronisation
+points advance a clock to the maximum of its own time and the peer
+event time, which is the standard conservative virtual-time rule.
+"""
+
+from __future__ import annotations
+
+
+class LogicalClock:
+    """A monotonically non-decreasing simulated clock.
+
+    Parameters
+    ----------
+    start:
+        Initial time in seconds.  Defaults to zero.
+    """
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start: float = 0.0) -> None:
+        if start < 0.0:
+            raise ValueError(f"clock cannot start at negative time {start}")
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    def advance(self, dt: float) -> float:
+        """Advance the clock by ``dt`` seconds and return the new time.
+
+        ``dt`` must be non-negative; simulated work cannot take
+        negative time.
+        """
+        if dt < 0.0:
+            raise ValueError(f"cannot advance clock by negative dt {dt}")
+        self._now += dt
+        return self._now
+
+    def merge(self, other_time: float) -> float:
+        """Synchronise with an event that completed at ``other_time``.
+
+        The clock jumps forward to ``other_time`` if it is behind it;
+        otherwise it is unchanged.  Returns the new time.
+        """
+        if other_time > self._now:
+            self._now = float(other_time)
+        return self._now
+
+    def reset(self, to: float = 0.0) -> None:
+        """Reset the clock (used between independent experiment runs)."""
+        if to < 0.0:
+            raise ValueError(f"clock cannot be reset to negative time {to}")
+        self._now = float(to)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"LogicalClock(now={self._now:.9f})"

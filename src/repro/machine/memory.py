@@ -1,0 +1,69 @@
+"""Per-node physical shared memory.
+
+Each simulated node owns one :class:`NodeMemory`: a dictionary of named
+numpy arrays standing in for the node's physical shared memory.  Both
+PPM node-shared variables and each node's partition of global shared
+variables live here, which mirrors the paper's statement that "both PPM
+local variables and node-level shared variables are stored in the
+physical shared memory of the node".
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+
+class NodeMemory:
+    """Named numpy-backed storage segments for one node."""
+
+    def __init__(self, node_id: int) -> None:
+        self.node_id = node_id
+        self._segments: dict[str, np.ndarray] = {}
+
+    def allocate(self, name: str, shape: tuple[int, ...] | int, dtype: np.dtype | str = np.float64, fill: float | int | None = 0) -> np.ndarray:
+        """Allocate a named segment; error if the name is taken."""
+        if name in self._segments:
+            raise KeyError(f"segment {name!r} already allocated on node {self.node_id}")
+        if fill is None:
+            arr = np.empty(shape, dtype=dtype)
+        else:
+            arr = np.full(shape, fill, dtype=dtype)
+        self._segments[name] = arr
+        return arr
+
+    def adopt(self, name: str, array: np.ndarray) -> np.ndarray:
+        """Register an existing array as a segment (no copy)."""
+        if name in self._segments:
+            raise KeyError(f"segment {name!r} already allocated on node {self.node_id}")
+        self._segments[name] = array
+        return array
+
+    def free(self, name: str) -> None:
+        """Release a segment; error if unknown."""
+        try:
+            del self._segments[name]
+        except KeyError:
+            raise KeyError(f"segment {name!r} not allocated on node {self.node_id}") from None
+
+    def get(self, name: str) -> np.ndarray:
+        """Fetch a segment by name; error if unknown."""
+        try:
+            return self._segments[name]
+        except KeyError:
+            raise KeyError(f"segment {name!r} not allocated on node {self.node_id}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._segments
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._segments)
+
+    def __len__(self) -> int:
+        return len(self._segments)
+
+    @property
+    def total_bytes(self) -> int:
+        """Sum of allocated segment sizes in bytes."""
+        return sum(a.nbytes for a in self._segments.values())

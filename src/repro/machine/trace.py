@@ -1,0 +1,87 @@
+"""Event tracing and aggregate statistics for simulated runs.
+
+Benchmarks and EXPERIMENTS.md report not just times but *why* — message
+counts, bytes moved, phase counts — which is how we check that e.g. the
+MPI Barnes-Hut baseline really ships whole trees while PPM ships only
+the touched records.  Recording is cheap (tuples in a list) and can be
+disabled wholesale for large sweeps.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Iterator
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded event.
+
+    ``kind`` is a short category string ("msg", "phase", "collective",
+    "bundle", ...); ``who`` identifies the actor (node or rank id);
+    ``t`` is the simulated completion time; ``messages``/``nbytes``
+    carry communication volume; ``detail`` is free-form.
+    """
+
+    kind: str
+    who: int
+    t: float
+    messages: int = 0
+    nbytes: int = 0
+    detail: str = ""
+
+
+@dataclass
+class Trace:
+    """Append-only event log with aggregate counters."""
+
+    enabled: bool = True
+    events: list[TraceEvent] = field(default_factory=list)
+    _messages: Counter = field(default_factory=Counter)
+    _bytes: Counter = field(default_factory=Counter)
+
+    def record(
+        self,
+        kind: str,
+        who: int,
+        t: float,
+        *,
+        messages: int = 0,
+        nbytes: int = 0,
+        detail: str = "",
+    ) -> None:
+        """Record one event (no-op when disabled, but counters still
+        accumulate so statistics stay available for big sweeps)."""
+        self._messages[kind] += messages
+        self._bytes[kind] += nbytes
+        if self.enabled:
+            self.events.append(
+                TraceEvent(kind=kind, who=who, t=t, messages=messages, nbytes=nbytes, detail=detail)
+            )
+
+    # -- statistics ----------------------------------------------------
+    def total_messages(self, kind: str | None = None) -> int:
+        """Total messages recorded, optionally for one event kind."""
+        if kind is None:
+            return sum(self._messages.values())
+        return self._messages[kind]
+
+    def total_bytes(self, kind: str | None = None) -> int:
+        """Total payload bytes recorded, optionally for one kind."""
+        if kind is None:
+            return sum(self._bytes.values())
+        return self._bytes[kind]
+
+    def by_kind(self, kind: str) -> Iterator[TraceEvent]:
+        """Iterate events of one kind (requires ``enabled``)."""
+        return (e for e in self.events if e.kind == kind)
+
+    def clear(self) -> None:
+        """Drop all events and counters."""
+        self.events.clear()
+        self._messages.clear()
+        self._bytes.clear()
+
+    def __len__(self) -> int:
+        return len(self.events)

@@ -1,0 +1,71 @@
+"""Payload size accounting for the simulated MPI layer.
+
+The cost model needs the wire size of every message.  For numpy arrays
+this is exact (``arr.nbytes``); for plain Python objects we use a small
+structural estimator and fall back to pickling for anything exotic, so
+the estimate is deterministic and reasonable without requiring apps to
+declare datatypes.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+
+_SCALAR_BYTES = 8
+_CONTAINER_HEADER = 16
+
+
+def payload_nbytes(obj: object) -> int:
+    """Estimated wire size of ``obj`` in bytes."""
+    if isinstance(obj, np.ndarray):
+        return int(obj.nbytes)
+    if isinstance(obj, (np.generic,)):
+        return int(obj.nbytes)
+    if isinstance(obj, (bytes, bytearray, memoryview)):
+        return len(obj)
+    if isinstance(obj, str):
+        return len(obj.encode("utf-8"))
+    if isinstance(obj, bool) or obj is None:
+        return 1
+    if isinstance(obj, (int, float, complex)):
+        return _SCALAR_BYTES
+    if isinstance(obj, (tuple, list, set, frozenset)):
+        return _CONTAINER_HEADER + sum(payload_nbytes(x) for x in obj)
+    if isinstance(obj, dict):
+        return _CONTAINER_HEADER + sum(
+            payload_nbytes(k) + payload_nbytes(v) for k, v in obj.items()
+        )
+    # Deterministic fallback for arbitrary objects.
+    try:
+        return len(pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL))
+    except Exception:
+        import sys
+
+        return sys.getsizeof(obj)
+
+
+def copy_payload(obj: object) -> object:
+    """Defensive copy of a message payload.
+
+    Real MPI copies data out of the send buffer; aliasing a live numpy
+    array between two simulated ranks would be a correctness bug, so
+    arrays are copied eagerly.  Immutable scalars/strings pass through;
+    containers are copied recursively.
+    """
+    if isinstance(obj, np.ndarray):
+        return obj.copy()
+    if isinstance(obj, (bytes, str, int, float, complex, bool)) or obj is None:
+        return obj
+    if isinstance(obj, np.generic):
+        return obj
+    if isinstance(obj, tuple):
+        return tuple(copy_payload(x) for x in obj)
+    if isinstance(obj, list):
+        return [copy_payload(x) for x in obj]
+    if isinstance(obj, dict):
+        return {k: copy_payload(v) for k, v in obj.items()}
+    if isinstance(obj, (set, frozenset)):
+        return type(obj)(copy_payload(x) for x in obj)
+    return pickle.loads(pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL))

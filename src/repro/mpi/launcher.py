@@ -1,0 +1,127 @@
+"""SPMD launcher for the simulated MPI layer.
+
+``run_mpi(program, cluster)`` plays the role of ``mpiexec``: it starts
+one Python thread per rank (one rank per core, node-major layout, as on
+the paper's Franklin runs), hands each a :class:`Communicator`, and
+collects results.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.machine.cluster import Cluster
+from repro.mpi.collectives import CollectiveEngine
+from repro.mpi.comm import Communicator, MailboxSystem
+from repro.mpi.process import RankContext
+
+
+class MpiDeadlockError(RuntimeError):
+    """The job did not finish within the real-time budget."""
+
+
+@dataclass
+class MpiResult:
+    """Outcome of one SPMD job."""
+
+    results: list
+    """Per-rank return values of the program."""
+
+    elapsed: float
+    """Simulated makespan: the maximum rank clock at exit."""
+
+    rank_times: list[float] = field(default_factory=list)
+    """Per-rank simulated finishing times."""
+
+
+def run_mpi(
+    program: Callable,
+    cluster: Cluster,
+    *args: object,
+    ranks: int | None = None,
+    timeout: float = 120.0,
+    **kwargs: object,
+) -> MpiResult:
+    """Run ``program(comm, *args, **kwargs)`` as an SPMD job.
+
+    Parameters
+    ----------
+    program:
+        The rank program.  Its first argument is the rank's
+        :class:`~repro.mpi.comm.Communicator`.
+    cluster:
+        The simulated machine.  By default the job uses every core
+        (``ranks = cluster.total_cores``).
+    ranks:
+        Optional smaller rank count (ranks are packed node-major).
+    timeout:
+        Real-time seconds after which the job is declared deadlocked.
+
+    Returns
+    -------
+    MpiResult
+        Per-rank return values and the simulated makespan.
+    """
+    size = cluster.total_cores if ranks is None else ranks
+    if not 1 <= size <= cluster.total_cores:
+        raise ValueError(
+            f"ranks must be in [1, {cluster.total_cores}], got {size}"
+        )
+
+    mailboxes = MailboxSystem(size)
+    engine = CollectiveEngine(size, cluster)
+    comms: list[Communicator] = []
+    for rank in range(size):
+        ctx = RankContext(rank, size, cluster)
+        comm = Communicator(ctx, mailboxes, cluster, timeout=timeout)
+        comm.collectives = engine
+        comms.append(comm)
+
+    results: list = [None] * size
+    errors: list = [None] * size
+
+    def runner(rank: int) -> None:
+        try:
+            results[rank] = program(comms[rank], *args, **kwargs)
+        except BaseException as exc:  # noqa: BLE001 - reported to caller
+            errors[rank] = exc
+            # Release peers blocked on this rank so the job fails fast
+            # instead of waiting out the real-time timeout.
+            mailboxes.abort()
+            engine.abort()
+
+    threads = [
+        threading.Thread(target=runner, args=(rank,), daemon=True, name=f"mpi-rank-{rank}")
+        for rank in range(size)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=timeout)
+        if t.is_alive():
+            raise MpiDeadlockError(
+                f"MPI job did not finish within {timeout}s of real time; "
+                f"thread {t.name} still running (deadlock?)"
+            )
+    # Report the root-cause failure, not the secondary JobAborted
+    # releases of its peers.
+    from repro.mpi.comm import JobAbortedError
+
+    primary = None
+    for rank, err in enumerate(errors):
+        if err is not None and not isinstance(err, JobAbortedError):
+            primary = (rank, err)
+            break
+    if primary is None:
+        for rank, err in enumerate(errors):
+            if err is not None:
+                primary = (rank, err)
+                break
+    if primary is not None:
+        rank, err = primary
+        raise RuntimeError(f"rank {rank} failed: {err!r}") from err
+
+    rank_times = [c.ctx.now for c in comms]
+    return MpiResult(results=results, elapsed=max(rank_times), rank_times=rank_times)

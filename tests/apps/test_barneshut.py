@@ -1,0 +1,226 @@
+"""Tests for the Barnes-Hut application: octree invariants, traversal
+accuracy, and the three implementations' agreement."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps.barneshut import (
+    bh_forces,
+    build_octree,
+    check_octree,
+    direct_forces,
+    make_plummer_cloud,
+    max_tree_nodes,
+    mpi_bh_simulate,
+    ppm_bh_simulate,
+    serial_bh_simulate,
+    walk_forces,
+)
+from repro.config import franklin
+from repro.machine import Cluster
+
+
+@pytest.fixture(scope="module")
+def cloud():
+    return make_plummer_cloud(256, seed=7)
+
+
+class TestCloud:
+    def test_shapes(self, cloud):
+        pos, vel, mass = cloud
+        assert pos.shape == (256, 3)
+        assert vel.shape == (256, 3)
+        assert mass.shape == (256,)
+
+    def test_unit_total_mass(self, cloud):
+        assert cloud[2].sum() == pytest.approx(1.0)
+
+    def test_deterministic(self):
+        a = make_plummer_cloud(64, seed=3)
+        b = make_plummer_cloud(64, seed=3)
+        assert (a[0] == b[0]).all()
+
+    def test_different_seeds_differ(self):
+        a = make_plummer_cloud(64, seed=3)
+        b = make_plummer_cloud(64, seed=4)
+        assert not (a[0] == b[0]).all()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_plummer_cloud(0)
+
+
+class TestOctree:
+    def test_invariants(self, cloud):
+        pos, _vel, mass = cloud
+        tree = build_octree(pos, mass)
+        check_octree(tree, pos, mass)
+
+    def test_leaf_size_respected(self, cloud):
+        pos, _vel, mass = cloud
+        tree = build_octree(pos, mass, leaf_size=8)
+        from repro.apps.barneshut.octree import F_NCHILDREN, F_PCOUNT
+
+        leaves = tree.nodes[tree.nodes[:, F_NCHILDREN] == 0]
+        assert leaves[:, F_PCOUNT].max() <= 8
+
+    def test_single_particle(self):
+        tree = build_octree(np.zeros((1, 3)), np.ones(1))
+        assert tree.n_nodes == 1
+        assert tree.perm.tolist() == [0]
+
+    def test_coincident_particles_small_leaf(self):
+        """Degenerate input (identical points) must not loop forever:
+        leaf_size >= duplicate count keeps it finite."""
+        pos = np.zeros((5, 3))
+        tree = build_octree(pos, np.ones(5), leaf_size=8)
+        assert tree.n_nodes == 1
+
+    def test_max_tree_nodes_bound_holds(self, cloud):
+        pos, _vel, mass = cloud
+        for leaf in (1, 4, 16):
+            tree = build_octree(pos, mass, leaf_size=leaf)
+            assert tree.n_nodes <= max_tree_nodes(256, leaf)
+
+    def test_build_flops_positive(self, cloud):
+        pos, _vel, mass = cloud
+        assert build_octree(pos, mass).build_flops > 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            build_octree(np.zeros((0, 3)), np.zeros(0))
+        with pytest.raises(ValueError):
+            build_octree(np.zeros((4, 2)), np.ones(4))
+        with pytest.raises(ValueError):
+            build_octree(np.zeros((4, 3)), np.ones(4), leaf_size=0)
+
+
+class TestForces:
+    def test_bh_close_to_direct(self, cloud):
+        pos, _vel, mass = cloud
+        a_bh = bh_forces(pos, mass, theta=0.5)
+        a_direct = direct_forces(pos, mass)
+        rel = np.linalg.norm(a_bh - a_direct, axis=1) / (
+            np.linalg.norm(a_direct, axis=1) + 1e-12
+        )
+        assert np.median(rel) < 0.02
+        assert rel.max() < 0.3
+
+    def test_theta_zero_is_exact(self, cloud):
+        """theta = 0 forces full descent: BH degenerates to direct
+        summation."""
+        pos, _vel, mass = cloud
+        a_bh = bh_forces(pos, mass, theta=0.0)
+        a_direct = direct_forces(pos, mass)
+        assert np.allclose(a_bh, a_direct, atol=1e-9)
+
+    def test_smaller_theta_more_accurate(self, cloud):
+        pos, _vel, mass = cloud
+        a_direct = direct_forces(pos, mass)
+
+        def err(theta):
+            a = bh_forces(pos, mass, theta=theta)
+            return np.linalg.norm(a - a_direct)
+
+        assert err(0.3) < err(0.9)
+
+    def test_momentum_roughly_conserved(self, cloud):
+        pos, _vel, mass = cloud
+        a = bh_forces(pos, mass, theta=0.5)
+        # Equal masses: net acceleration should be near zero.
+        assert np.abs((a * mass[:, None]).sum(axis=0)).max() < 1e-2 * np.abs(a).max()
+
+    def test_walk_empty_chunk(self, cloud):
+        pos, _vel, mass = cloud
+        tree = build_octree(pos, mass)
+        posm = np.concatenate([pos, mass[:, None]], axis=1)
+        res = walk_forces(
+            np.zeros((0, 3)),
+            lambda rows: tree.nodes[rows],
+            lambda s, c: tree.perm[s : s + c],
+            lambda ids: posm[ids],
+        )
+        assert res.acc.shape == (0, 3)
+        assert res.interactions == 0
+
+
+class TestAgreement:
+    @pytest.mark.parametrize("nodes", [1, 2, 3])
+    def test_ppm_matches_serial(self, cloud, nodes):
+        pos, vel, mass = cloud
+        ref_p, ref_v = serial_bh_simulate(pos, vel, mass, steps=2)
+        pp, pv, elapsed = ppm_bh_simulate(
+            pos, vel, mass, Cluster(franklin(n_nodes=nodes)), steps=2
+        )
+        assert np.allclose(pp, ref_p, atol=1e-12)
+        assert np.allclose(pv, ref_v, atol=1e-12)
+        assert elapsed > 0
+
+    def test_ppm_independent_of_vp_count(self, cloud):
+        pos, vel, mass = cloud
+        p1, _v1, _ = ppm_bh_simulate(
+            pos, vel, mass, Cluster(franklin(n_nodes=2)), steps=1, vp_per_core=1
+        )
+        p2, _v2, _ = ppm_bh_simulate(
+            pos, vel, mass, Cluster(franklin(n_nodes=2)), steps=1, vp_per_core=4
+        )
+        assert np.allclose(p1, p2, atol=1e-15)
+
+    def test_mpi_replication_close_to_serial(self, cloud):
+        """The tree-replication baseline sums per-subtree
+        approximations; positions agree with the single-tree run to
+        within the method's approximation error."""
+        pos, vel, mass = cloud
+        ref_p, _ = serial_bh_simulate(pos, vel, mass, steps=2)
+        mp, _mv, elapsed = mpi_bh_simulate(
+            pos, vel, mass, Cluster(franklin(n_nodes=2)), steps=2, ranks=4
+        )
+        drift = np.abs(ref_p - pos).max()
+        assert np.abs(mp - ref_p).max() < 0.05 * drift
+        assert elapsed > 0
+
+
+class TestFigure3Shape:
+    def test_ppm_scales_well(self):
+        """Figure 3: PPM time keeps dropping as nodes are added."""
+        pos, vel, mass = make_plummer_cloud(1024, seed=5)
+        times = []
+        for nodes in (1, 4, 16):
+            _, _, t = ppm_bh_simulate(
+                pos, vel, mass, Cluster(franklin(n_nodes=nodes)), steps=1
+            )
+            times.append(t)
+        assert times[1] < times[0]
+        assert times[2] < times[1]
+
+    def test_mpi_replication_ships_far_more_bytes(self):
+        """The paper's critique of the MPI method: whole-tree
+        replication moves vastly more data than PPM's on-demand
+        bundled fetches."""
+        from repro.apps.barneshut.octree import build_octree
+        from repro.mpi.datatypes import payload_nbytes
+
+        pos, vel, mass = make_plummer_cloud(512, seed=5)
+        cluster = Cluster(franklin(n_nodes=4))
+        ppm_bh_simulate(pos, vel, mass, cluster, steps=1)
+        ppm_bytes = cluster.trace.total_bytes("ppm_global_phase")
+        assert ppm_bytes > 0
+
+        # Analytic replication volume: every rank ships its whole
+        # subtree package to every other rank, so the wire volume
+        # grows ~linearly with the rank count while PPM's on-demand
+        # fetches do not.
+        def replication_bytes(ranks: int) -> int:
+            per_rank = 512 // ranks
+            tree = build_octree(pos[:per_rank], mass[:per_rank])
+            posm = np.concatenate(
+                [pos[:per_rank], mass[:per_rank, None]], axis=1
+            )
+            package = payload_nbytes((tree.nodes, tree.perm, posm))
+            return ranks * (ranks - 1) * package
+
+        assert replication_bytes(16) > ppm_bytes
+        assert replication_bytes(64) > 5 * ppm_bytes
+        assert replication_bytes(64) > 3 * replication_bytes(16)

@@ -1,0 +1,70 @@
+"""Tests for shared application utilities."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps.common import block_of, hash_u64, hash_unit, split_range
+
+
+class TestSplitRange:
+    def test_covers_everything(self):
+        blocks = split_range(10, 3)
+        assert blocks[0][0] == 0
+        assert blocks[-1][1] == 10
+        for (a, b), (c, d) in zip(blocks, blocks[1:]):
+            assert b == c
+
+    def test_balanced(self):
+        blocks = split_range(11, 4)
+        sizes = [b - a for a, b in blocks]
+        assert max(sizes) - min(sizes) <= 1
+        assert sum(sizes) == 11
+
+    def test_more_parts_than_items(self):
+        blocks = split_range(2, 5)
+        sizes = [b - a for a, b in blocks]
+        assert sum(sizes) == 2
+        assert all(s in (0, 1) for s in sizes)
+
+    def test_zero_items(self):
+        assert all(a == b for a, b in split_range(0, 3))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            split_range(5, 0)
+        with pytest.raises(ValueError):
+            split_range(-1, 2)
+
+
+class TestBlockOf:
+    def test_matches_split_range(self):
+        n, parts = 17, 5
+        blocks = split_range(n, parts)
+        for i in range(n):
+            p = block_of(i, n, parts)
+            lo, hi = blocks[p]
+            assert lo <= i < hi
+
+    def test_out_of_range(self):
+        with pytest.raises(IndexError):
+            block_of(5, 5, 2)
+
+
+class TestHashing:
+    def test_deterministic(self):
+        x = np.arange(100, dtype=np.uint64)
+        assert (hash_u64(x) == hash_u64(x)).all()
+
+    def test_spreads_values(self):
+        h = hash_unit(np.arange(10_000))
+        assert 0.45 < h.mean() < 0.55
+        assert h.min() >= 0.0 and h.max() < 1.0
+
+    def test_distinct_inputs_distinct_outputs(self):
+        h = hash_u64(np.arange(100_000, dtype=np.uint64))
+        assert np.unique(h).size == 100_000
+
+    def test_scalar_input(self):
+        assert hash_u64(5) == hash_u64(np.array([5]))[0]

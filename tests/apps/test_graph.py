@@ -1,0 +1,143 @@
+"""Tests for the BFS graph application."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps.graph import (
+    UNREACHED,
+    hashed_graph,
+    mpi_bfs,
+    ppm_bfs,
+    serial_bfs,
+    to_networkx,
+)
+from repro.config import franklin
+from repro.machine import Cluster
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return hashed_graph(300, degree=3, seed=5)
+
+
+class TestGenerator:
+    def test_csr_structure(self, graph):
+        assert graph.indptr.shape == (graph.n + 1,)
+        assert graph.indptr[0] == 0
+        assert graph.indptr[-1] == graph.indices.size
+
+    def test_undirected(self, graph):
+        edges = set()
+        for v in range(graph.n):
+            for w in graph.neighbors(v):
+                edges.add((v, int(w)))
+        for v, w in edges:
+            assert (w, v) in edges
+
+    def test_no_self_loops(self, graph):
+        for v in range(graph.n):
+            assert v not in graph.neighbors(v)
+
+    def test_no_duplicate_edges(self, graph):
+        for v in range(graph.n):
+            nbrs = graph.neighbors(v)
+            assert np.unique(nbrs).size == nbrs.size
+
+    def test_deterministic(self):
+        a = hashed_graph(100, seed=9)
+        b = hashed_graph(100, seed=9)
+        assert (a.indices == b.indices).all()
+
+    def test_seed_changes_graph(self):
+        a = hashed_graph(100, seed=9)
+        b = hashed_graph(100, seed=10)
+        assert a.indices.size != b.indices.size or not (a.indices == b.indices).all()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            hashed_graph(1)
+        with pytest.raises(ValueError):
+            hashed_graph(10, degree=0)
+
+
+class TestSerialBfs:
+    def test_matches_networkx(self, graph):
+        import networkx as nx
+
+        dist = serial_bfs(graph, 0)
+        lengths = nx.single_source_shortest_path_length(to_networkx(graph), 0)
+        for v in range(graph.n):
+            if v in lengths:
+                assert dist[v] == lengths[v]
+            else:
+                assert dist[v] == UNREACHED
+
+    def test_source_distance_zero(self, graph):
+        assert serial_bfs(graph, 7)[7] == 0
+
+    def test_neighbour_distances_differ_by_at_most_one(self, graph):
+        dist = serial_bfs(graph, 0)
+        for v in range(graph.n):
+            if dist[v] == UNREACHED:
+                continue
+            for w in graph.neighbors(v):
+                if dist[w] != UNREACHED:
+                    assert abs(int(dist[v]) - int(dist[w])) <= 1
+
+    def test_disconnected_vertices_unreached(self):
+        # A path graph built by hand: 0-1, plus isolated vertex 2.
+        import scipy.sparse as sp
+        from repro.apps.graph.generator import Graph
+
+        adj = sp.csr_matrix(
+            (np.ones(2), (np.array([0, 1]), np.array([1, 0]))), shape=(3, 3)
+        )
+        g = Graph(indptr=adj.indptr.astype(np.int64), indices=adj.indices.astype(np.int64), n=3)
+        dist = serial_bfs(g, 0)
+        assert dist.tolist() == [0, 1, UNREACHED]
+
+    def test_source_validation(self, graph):
+        with pytest.raises(ValueError):
+            serial_bfs(graph, -1)
+        with pytest.raises(ValueError):
+            serial_bfs(graph, graph.n)
+
+
+class TestDistributedAgreement:
+    @pytest.mark.parametrize("nodes", [1, 2, 3])
+    def test_ppm_matches_serial(self, graph, nodes):
+        ref = serial_bfs(graph, 0)
+        dist, elapsed = ppm_bfs(graph, 0, Cluster(franklin(n_nodes=nodes)))
+        assert (dist == ref).all()
+        assert elapsed > 0
+
+    @pytest.mark.parametrize("nodes", [1, 2])
+    def test_mpi_matches_serial(self, graph, nodes):
+        ref = serial_bfs(graph, 0)
+        dist, elapsed = mpi_bfs(graph, 0, Cluster(franklin(n_nodes=nodes)))
+        assert (dist == ref).all()
+        assert elapsed > 0
+
+    def test_nonzero_source(self, graph):
+        ref = serial_bfs(graph, 42)
+        dist, _ = ppm_bfs(graph, 42, Cluster(franklin(n_nodes=2)))
+        assert (dist == ref).all()
+
+    def test_ppm_independent_of_vp_count(self, graph):
+        d1, _ = ppm_bfs(graph, 0, Cluster(franklin(n_nodes=2)), vp_per_core=1)
+        d2, _ = ppm_bfs(graph, 0, Cluster(franklin(n_nodes=2)), vp_per_core=4)
+        assert (d1 == d2).all()
+
+    def test_ppm_degrades_slower_than_mpi(self):
+        """BFS is latency-bound at this size, so strong scaling stalls
+        for both; the meaningful comparison is that PPM's per-level
+        cost stays bounded while MPI's per-level message count grows
+        with the rank count."""
+        g = hashed_graph(2000, degree=4, seed=3)
+        _, tp1 = ppm_bfs(g, 0, Cluster(franklin(n_nodes=1)))
+        _, tp8 = ppm_bfs(g, 0, Cluster(franklin(n_nodes=8)))
+        _, tm8 = mpi_bfs(g, 0, Cluster(franklin(n_nodes=8)))
+        assert tp8 < tm8, "PPM should beat MPI at scale"
+        assert tp8 < 2.0 * tp1, "PPM overhead must stay bounded"

@@ -1,0 +1,199 @@
+"""Tests for the experiment harness: sweeps, reports, code counting,
+and the CLI."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.bench.codesize import PAPER_TABLE1, TABLE1_FILES, count_loc, table1_codesize
+from repro.bench.harness import SweepResult, run_sweep
+from repro.bench.report import format_table, save_result
+
+
+class TestRunSweep:
+    def test_collects_rows_in_order(self):
+        result = run_sweep("demo", "x", [1, 2, 3], lambda x: {"y": x * x})
+        assert result.columns == ["x", "y"]
+        assert [r["x"] for r in result.rows] == [1, 2, 3]
+        assert result.series("y") == [1, 4, 9]
+
+    def test_ragged_columns_supported(self):
+        def runner(x):
+            return {"y": x} if x < 2 else {"y": x, "z": -x}
+
+        result = run_sweep("demo", "x", [1, 2], runner)
+        assert result.columns == ["x", "y", "z"]
+        assert result.rows[0].get("z") is None
+
+    def test_series_unknown_column(self):
+        result = run_sweep("demo", "x", [1], lambda x: {"y": x})
+        with pytest.raises(KeyError):
+            result.series("nope")
+
+    def test_notes_attached(self):
+        result = run_sweep("demo", "x", [], lambda x: {}, notes="hello")
+        assert result.notes == "hello"
+
+
+class TestFormatting:
+    def test_format_table_contains_everything(self):
+        result = SweepResult(
+            name="t", columns=["a", "b"], rows=[{"a": 1, "b": 0.5}], notes="n"
+        )
+        text = format_table(result)
+        assert "== t ==" in text
+        assert "n" in text
+        assert "0.5" in text
+
+    def test_float_formatting(self):
+        result = SweepResult(
+            name="t",
+            columns=["v"],
+            rows=[{"v": 0.000123}, {"v": 123456.0}, {"v": 0.0}],
+        )
+        text = format_table(result)
+        assert "0.000123" in text
+        assert "0" in text
+
+    def test_save_result_writes_file(self, tmp_path, monkeypatch):
+        import repro.bench.report as report
+
+        monkeypatch.setattr(report, "RESULTS_DIR", str(tmp_path))
+        result = SweepResult(name="demo", columns=["a"], rows=[{"a": 1}])
+        text = save_result(result)
+        assert (tmp_path / "demo.txt").read_text().strip() == text.strip()
+
+
+class TestCodeSize:
+    def test_count_loc_ignores_comments_and_docstrings(self, tmp_path):
+        src = tmp_path / "sample.py"
+        src.write_text(
+            '"""Module docstring\nspanning lines."""\n'
+            "# a comment\n"
+            "\n"
+            "def f(x):\n"
+            '    """Doc."""\n'
+            "    # inner comment\n"
+            "    return x + 1\n"
+        )
+        assert count_loc(str(src)) == 2  # def line + return line
+
+    def test_count_loc_counts_multiline_statements(self, tmp_path):
+        src = tmp_path / "sample.py"
+        src.write_text("x = [\n    1,\n    2,\n]\n")
+        assert count_loc(str(src)) == 4
+
+    def test_table1_structure(self):
+        result = table1_codesize()
+        assert {r["application"] for r in result.rows} == set(PAPER_TABLE1)
+        for row in result.rows:
+            assert row["ppm_loc"] > 0
+            assert row["mpi_loc"] > 0
+
+    def test_listed_files_exist(self):
+        import repro.apps as apps
+
+        base = os.path.dirname(apps.__file__)
+        for ppm_files, mpi_files in TABLE1_FILES.values():
+            for rel in ppm_files + mpi_files:
+                assert os.path.exists(os.path.join(base, rel)), rel
+
+
+class TestCli:
+    def test_list(self, capsys):
+        from repro.bench.__main__ import main
+
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig1" in out and "table1" in out
+
+    def test_unknown_experiment(self, capsys):
+        from repro.bench.__main__ import main
+
+        assert main(["nope"]) == 2
+        assert "unknown" in capsys.readouterr().err
+
+    def test_runs_table1(self, capsys, tmp_path, monkeypatch):
+        import repro.bench.report as report
+
+        monkeypatch.setattr(report, "RESULTS_DIR", str(tmp_path))
+        from repro.bench.__main__ import main
+
+        assert main(["table1"]) == 0
+        assert "Conjugate Gradient" in capsys.readouterr().out
+        assert (tmp_path / "table1_codesize.txt").exists()
+
+
+class TestFigureBuildersSmoke:
+    """Tiny-instance smoke runs of every sweep builder (the real sizes
+    run in benchmarks/)."""
+
+    def test_fig1_smoke(self):
+        from repro.bench.figures import fig1_cg
+
+        result = fig1_cg(node_counts=(1, 2), nx=4, iters=3)
+        assert len(result.rows) == 2
+        assert all(r["ppm_s"] > 0 and r["mpi_s"] > 0 for r in result.rows)
+
+    def test_fig2_smoke(self):
+        from repro.bench.figures import fig2_matgen
+
+        result = fig2_matgen(node_counts=(1, 2), levels=5)
+        assert all(r["ppm_s"] > 0 for r in result.rows)
+
+    def test_fig3_smoke(self):
+        from repro.bench.figures import fig3_barneshut
+
+        result = fig3_barneshut(node_counts=(1, 2), n_particles=128, steps=1)
+        assert all(r["ppm_s"] > 0 for r in result.rows)
+
+    def test_ext_smoke(self):
+        from repro.bench.figures import ext_bfs, ext_trsv
+
+        assert ext_bfs(node_counts=(1,), n_vertices=200).rows[0]["ppm_s"] > 0
+        assert ext_trsv(node_counts=(1,), nx=4).rows[0]["ppm_s"] > 0
+
+
+class TestRenderChart:
+    def _result(self):
+        return SweepResult(
+            name="demo",
+            columns=["nodes", "ppm_s", "mpi_s", "ratio"],
+            rows=[
+                {"nodes": 1, "ppm_s": 0.01, "mpi_s": 0.002, "ratio": 5.0},
+                {"nodes": 2, "ppm_s": 0.005, "mpi_s": 0.003, "ratio": 1.7},
+            ],
+        )
+
+    def test_renders_time_series_only(self):
+        from repro.bench.report import render_chart
+
+        text = render_chart(self._result())
+        assert "ppm_s" in text and "mpi_s" in text
+        assert "ratio" not in text
+
+    def test_bars_scale_with_values(self):
+        from repro.bench.report import render_chart
+
+        lines = render_chart(self._result()).splitlines()[1:]  # skip header
+        big = next(l for l in lines if l.endswith("0.01"))
+        small = next(l for l in lines if l.endswith("0.002"))
+        assert big.count("#") > small.count("#")
+
+    def test_missing_values_marked(self):
+        from repro.bench.report import render_chart
+
+        r = SweepResult(
+            name="demo",
+            columns=["nodes", "a_s"],
+            rows=[{"nodes": 1, "a_s": 0.1}, {"nodes": 2}],
+        )
+        assert "(n/a)" in render_chart(r)
+
+    def test_no_time_columns_gives_empty(self):
+        from repro.bench.report import render_chart
+
+        r = SweepResult(name="demo", columns=["x", "y"], rows=[{"x": 1, "y": 2}])
+        assert render_chart(r) == ""

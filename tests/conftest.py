@@ -1,0 +1,31 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import MachineConfig, franklin, testing as mkconfig
+from repro.machine import Cluster
+
+
+@pytest.fixture
+def config2x2() -> MachineConfig:
+    """Two nodes, two cores each — the workhorse test topology."""
+    return mkconfig(n_nodes=2, cores_per_node=2)
+
+
+@pytest.fixture
+def cluster2x2(config2x2) -> Cluster:
+    return Cluster(config2x2)
+
+
+@pytest.fixture
+def cluster1() -> Cluster:
+    """Single node, single core."""
+    return Cluster(mkconfig(n_nodes=1, cores_per_node=1))
+
+
+@pytest.fixture
+def franklin4() -> Cluster:
+    """Four Franklin-like nodes (4 cores each)."""
+    return Cluster(franklin(n_nodes=4))

@@ -1,0 +1,198 @@
+"""Tests for PPM phase collectives (reduce / parallel prefix)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import testing as mkconfig
+from repro.core import ppm_function, run_ppm
+from repro.core.collectives import CollectiveHandle, CollectiveSlot
+from repro.core.errors import CollectiveUsageError, PpmError
+from repro.machine import Cluster
+
+
+def _cluster(n_nodes=2, cores=2, **cfg):
+    return Cluster(mkconfig(n_nodes=n_nodes, cores_per_node=cores, **cfg))
+
+
+class TestHandle:
+    def test_value_before_commit_raises(self):
+        h = CollectiveHandle("reduce")
+        assert not h.ready
+        with pytest.raises(CollectiveUsageError, match="before its phase"):
+            h.value
+
+    def test_value_after_resolve(self):
+        h = CollectiveHandle("reduce")
+        h._resolve(42)
+        assert h.ready
+        assert h.value == 42
+
+
+class TestSlot:
+    def test_reduce_in_rank_order(self):
+        slot = CollectiveSlot("reduce", "sum")
+        handles = [slot.add(r, 10.0 ** r) for r in (2, 0, 1)]
+        slot.resolve()
+        assert all(h.value == 111.0 for h in handles)
+
+    def test_scan_inclusive_prefix(self):
+        slot = CollectiveSlot("scan", "sum")
+        h2 = slot.add(2, 3)
+        h0 = slot.add(0, 1)
+        h1 = slot.add(1, 2)
+        slot.resolve()
+        assert (h0.value, h1.value, h2.value) == (1, 3, 6)
+
+    def test_empty_slot_resolves_to_nothing(self):
+        assert CollectiveSlot("reduce", "sum").resolve() == 0
+
+    def test_bad_kind(self):
+        with pytest.raises(PpmError):
+            CollectiveSlot("bcast", "sum")
+
+
+class TestInPhase:
+    def test_reduce_spans_all_nodes(self):
+        @ppm_function
+        def kernel(ctx, out):
+            yield ctx.global_phase
+            h = ctx.reduce(ctx.global_rank + 1, "sum")
+            yield ctx.global_phase
+            out[ctx.global_rank] = float(h.value)
+
+        def main(ppm):
+            out = ppm.global_shared("out", 4)
+            ppm.do(2, kernel, out)
+            return out.committed
+
+        _, out = run_ppm(main, _cluster())
+        assert (out == 10.0).all()
+
+    def test_scan_matches_global_rank_order(self):
+        @ppm_function
+        def kernel(ctx, out):
+            yield ctx.global_phase
+            h = ctx.scan(1, "sum")
+            yield ctx.global_phase
+            out[ctx.global_rank] = float(h.value)
+
+        def main(ppm):
+            out = ppm.global_shared("out", 6)
+            ppm.do(3, kernel, out)
+            return out.committed
+
+        _, out = run_ppm(main, _cluster())
+        assert out.tolist() == [1.0, 2.0, 3.0, 4.0, 5.0, 6.0]
+
+    def test_value_inside_same_phase_raises(self):
+        @ppm_function
+        def kernel(ctx):
+            yield ctx.global_phase
+            h = ctx.reduce(1.0)
+            _ = h.value  # too early
+
+        def main(ppm):
+            ppm.do(1, kernel)
+
+        with pytest.raises(PpmError, match="before its phase"):
+            run_ppm(main, _cluster())
+
+    def test_multiple_collectives_match_by_call_order(self):
+        @ppm_function
+        def kernel(ctx, out):
+            yield ctx.global_phase
+            h_sum = ctx.reduce(1, "sum")
+            h_max = ctx.reduce(ctx.global_rank, "max")
+            yield ctx.global_phase
+            if ctx.global_rank == 0:
+                out[0] = float(h_sum.value)
+                out[1] = float(h_max.value)
+
+        def main(ppm):
+            out = ppm.global_shared("out", 2)
+            ppm.do(2, kernel, out)
+            return out.committed
+
+        _, out = run_ppm(main, _cluster())
+        assert out.tolist() == [4.0, 3.0]
+
+    def test_partial_participation(self):
+        """Only even-ranked VPs contribute; the reduction spans just
+        the contributors."""
+
+        @ppm_function
+        def kernel(ctx, out):
+            yield ctx.global_phase
+            h = ctx.reduce(1, "sum") if ctx.global_rank % 2 == 0 else None
+            yield ctx.global_phase
+            if h is not None and ctx.global_rank == 0:
+                out[0] = float(h.value)
+
+        def main(ppm):
+            out = ppm.global_shared("out", 1)
+            ppm.do(2, kernel, out)
+            return out.committed
+
+        _, out = run_ppm(main, _cluster())
+        assert out[0] == 2.0  # ranks 0 and 2
+
+    def test_array_valued_reduce(self):
+        @ppm_function
+        def kernel(ctx, out):
+            yield ctx.global_phase
+            h = ctx.reduce(np.full(3, float(ctx.global_rank)), "sum")
+            yield ctx.global_phase
+            if ctx.global_rank == 0:
+                out[:] = h.value
+
+        def main(ppm):
+            out = ppm.global_shared("out", 3)
+            ppm.do(2, kernel, out)
+            return out.committed
+
+        _, out = run_ppm(main, _cluster())
+        assert out.tolist() == [6.0, 6.0, 6.0]
+
+    def test_node_phase_collective_scopes_to_node(self):
+        """A reduction inside a node phase spans only that node's VPs
+        (the node-level analogue of the utility functions)."""
+
+        @ppm_function
+        def kernel(ctx, out):
+            yield ctx.node_phase
+            h = ctx.reduce(10 ** ctx.node_id, "sum")
+            yield ctx.node_phase
+            out[ctx.node_rank] = float(h.value)
+
+        def main(ppm):
+            out = ppm.node_shared("out", 2)
+            ppm.do(2, kernel, out)
+            return [out.instance(i)[0] for i in range(ppm.node_count)]
+
+        _, vals = run_ppm(main, _cluster())
+        # Node 0: two VPs contribute 1 each; node 1: two contribute 10.
+        assert vals == [2.0, 20.0]
+
+    def test_collective_adds_time(self):
+        @ppm_function
+        def with_coll(ctx):
+            yield ctx.global_phase
+            ctx.reduce(1.0)
+
+        @ppm_function
+        def without(ctx):
+            yield ctx.global_phase
+
+        def main_with(ppm):
+            ppm.do(1, with_coll)
+            return ppm.elapsed
+
+        def main_without(ppm):
+            ppm.do(1, without)
+            return ppm.elapsed
+
+        _, t1 = run_ppm(main_with, _cluster())
+        _, t0 = run_ppm(main_without, _cluster())
+        assert t1 > t0

@@ -1,0 +1,65 @@
+"""Tests for the PPM language-construct helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.constructs import (
+    GLOBAL_PHASE,
+    NODE_PHASE,
+    PhaseDecl,
+    is_ppm_function,
+    ppm_function,
+)
+from repro.core.errors import PhaseUsageError
+
+
+class TestPhaseDecl:
+    def test_module_sentinels(self):
+        assert GLOBAL_PHASE.kind == "global"
+        assert NODE_PHASE.kind == "node"
+        assert GLOBAL_PHASE.latency_rounds == 1
+
+    def test_invalid_kind(self):
+        with pytest.raises(PhaseUsageError, match="kind"):
+            PhaseDecl("cluster")
+
+    def test_invalid_latency_rounds(self):
+        with pytest.raises(PhaseUsageError, match="latency_rounds"):
+            PhaseDecl("global", latency_rounds=0)
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            GLOBAL_PHASE.kind = "node"
+
+    def test_custom_rounds(self):
+        d = PhaseDecl("global", latency_rounds=7)
+        assert d.latency_rounds == 7
+
+
+class TestPpmFunctionDecorator:
+    def test_marks_function(self):
+        @ppm_function
+        def f(ctx):
+            yield ctx.global_phase
+
+        assert is_ppm_function(f)
+
+    def test_unmarked_function(self):
+        def g(ctx):
+            pass
+
+        assert not is_ppm_function(g)
+
+    def test_rejects_zero_parameter_function(self):
+        with pytest.raises(PhaseUsageError, match="first parameter"):
+            @ppm_function
+            def bad():
+                pass
+
+    def test_plain_function_accepted(self):
+        @ppm_function
+        def plain(ctx, x):
+            return x
+
+        assert is_ppm_function(plain)

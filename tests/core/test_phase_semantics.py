@@ -1,0 +1,423 @@
+"""Tests for the heart of PPM: phase snapshot/commit semantics.
+
+Paper section 3.2: "Within every phase, any read access to a shared
+variable always gets the value as it was [at] the beginning of the
+current execution of the phase; and updates made to a shared variable
+become effective only after the end of the current execution of the
+phase."
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import testing as mkconfig
+from repro.core import ppm_function, run_ppm
+from repro.core.errors import (
+    PhaseUsageError,
+    PpmError,
+    SharedAccessError,
+    VpProgramError,
+)
+from repro.machine import Cluster
+
+
+def _cluster(n_nodes=2, cores=2, **cfg):
+    return Cluster(mkconfig(n_nodes=n_nodes, cores_per_node=cores, **cfg))
+
+
+class TestSnapshotReads:
+    def test_reads_see_phase_start_values(self):
+        """All VPs read neighbours' slots during the same phase in
+        which those slots are overwritten: everyone must see the
+        snapshot, regardless of execution order."""
+
+        @ppm_function
+        def shift(ctx, A, out):
+            i = ctx.global_rank
+            n = ctx.global_vp_count
+            yield ctx.global_phase
+            out[i] = A[(i + 1) % n]  # read neighbour
+            A[i] = -1.0  # overwrite own slot
+
+        def main(ppm):
+            n = ppm.node_count * 2
+            A = ppm.global_shared("A", n)
+            out = ppm.global_shared("out", n)
+            A[:] = np.arange(n, dtype=float)
+            ppm.do(2, shift, A, out)
+            return A.committed, out.committed
+
+        _, (a, out) = run_ppm(main, _cluster())
+        n = 4
+        assert out.tolist() == [(i + 1) % n for i in range(n)]
+        assert (a == -1.0).all()
+
+    def test_own_writes_invisible_within_phase(self):
+        """Strict paper semantics: even a VP's *own* write is not
+        visible to its later reads in the same phase."""
+
+        @ppm_function
+        def probe(ctx, A, out):
+            yield ctx.global_phase
+            A[0] = 42.0
+            out[0] = A[0]  # still the snapshot value
+
+        def main(ppm):
+            A = ppm.global_shared("A", 2)
+            out = ppm.global_shared("out", 2)
+            A[0] = 7.0
+            ppm.do([1, 0], probe, A, out)
+            return A.committed, out.committed
+
+        _, (a, out) = run_ppm(main, _cluster())
+        assert out[0] == 7.0  # snapshot
+        assert a[0] == 42.0  # committed after the phase
+
+    def test_writes_visible_next_phase(self):
+        @ppm_function
+        def two_phase(ctx, A, out):
+            i = ctx.global_rank
+            yield ctx.global_phase
+            A[i] = float(i) * 2
+            yield ctx.global_phase
+            out[i] = A[i]
+
+        def main(ppm):
+            A = ppm.global_shared("A", 4)
+            out = ppm.global_shared("out", 4)
+            ppm.do(2, two_phase, A, out)
+            return out.committed
+
+        _, out = run_ppm(main, _cluster())
+        assert out.tolist() == [0.0, 2.0, 4.0, 6.0]
+
+    def test_read_returns_copy_not_view(self):
+        @ppm_function
+        def mutate_read(ctx, A, out):
+            yield ctx.global_phase
+            block = A[0:2]
+            block[0] = 999.0  # mutating the copy must not leak
+            yield ctx.global_phase
+            out[0] = A[0]
+
+        def main(ppm):
+            A = ppm.global_shared("A", 4)
+            out = ppm.global_shared("out", 1)
+            A[:] = 1.0
+            ppm.do([1, 0], mutate_read, A, out)
+            return out.committed
+
+        _, out = run_ppm(main, _cluster())
+        assert out[0] == 1.0
+
+    def test_write_buffers_copy_of_source_array(self):
+        @ppm_function
+        def writer(ctx, A):
+            yield ctx.global_phase
+            v = np.full(2, 5.0)
+            A[0:2] = v
+            v[:] = -1.0  # mutation after the buffered write must not leak
+
+        def main(ppm):
+            A = ppm.global_shared("A", 4)
+            ppm.do([1, 0], writer, A)
+            return A.committed
+
+        _, a = run_ppm(main, _cluster())
+        assert a[0] == 5.0 and a[1] == 5.0
+
+
+class TestConflictResolution:
+    def test_highest_global_rank_wins(self):
+        @ppm_function
+        def clash(ctx, A):
+            yield ctx.global_phase
+            A[0] = float(ctx.global_rank)
+
+        def main(ppm):
+            A = ppm.global_shared("A", 1)
+            ppm.do(3, clash, A)
+            return A.committed
+
+        _, a = run_ppm(main, _cluster(n_nodes=2))
+        assert a[0] == 5.0  # 6 VPs, ranks 0..5
+
+    def test_resolution_independent_of_node_layout(self):
+        """The same K VPs spread over different node counts must
+        produce the same final value."""
+
+        @ppm_function
+        def clash(ctx, A):
+            yield ctx.global_phase
+            A[0] = float(ctx.global_rank * 10)
+
+        def run(n_nodes, per_node):
+            def main(ppm):
+                A = ppm.global_shared("A", 1)
+                ppm.do(per_node, clash, A)
+                return A.committed[0]
+
+            return run_ppm(main, _cluster(n_nodes=n_nodes))[1]
+
+        assert run(1, 4) == run(2, 2) == run(4, 1) == 30.0
+
+    def test_program_order_within_vp(self):
+        @ppm_function
+        def twice(ctx, A):
+            yield ctx.global_phase
+            A[0] = 1.0
+            A[0] = 2.0  # later write of the same VP wins
+
+        def main(ppm):
+            A = ppm.global_shared("A", 1)
+            ppm.do([1, 0], twice, A)
+            return A.committed
+
+        _, a = run_ppm(main, _cluster())
+        assert a[0] == 2.0
+
+    def test_accumulate_combines_instead_of_overwriting(self):
+        @ppm_function
+        def add(ctx, A):
+            yield ctx.global_phase
+            A.accumulate(np.array([0]), np.array([1.0]))
+
+        def main(ppm):
+            A = ppm.global_shared("A", 1)
+            ppm.do(3, add, A)
+            return A.committed
+
+        _, a = run_ppm(main, _cluster(n_nodes=2))
+        assert a[0] == 6.0  # six VPs each add 1
+
+
+class TestNodePhases:
+    def test_node_shared_visible_within_node_only(self):
+        @ppm_function
+        def local_sum(ctx, B, out):
+            r = ctx.node_rank
+            yield ctx.node_phase
+            B[r] = float(ctx.node_id + 1)
+            yield ctx.node_phase
+            if r == 0:
+                out[r] = B[0] + B[1]
+            yield ctx.global_phase
+            # publish each node's sum: write to a global slot
+            # (node phases cannot write global shared)
+
+        def main(ppm):
+            B = ppm.node_shared("B", 2)
+            out = ppm.node_shared("out", 2)
+            ppm.do(2, local_sum, B, out)
+            return [out.instance(i)[0] for i in range(ppm.node_count)]
+
+        _, sums = run_ppm(main, _cluster())
+        assert sums == [2.0, 4.0]
+
+    def test_node_phase_cannot_write_global(self):
+        @ppm_function
+        def bad(ctx, A):
+            yield ctx.node_phase
+            A[0] = 1.0
+
+        def main(ppm):
+            A = ppm.global_shared("A", 2)
+            ppm.do(1, bad, A)
+
+        with pytest.raises(PpmError, match="node"):
+            run_ppm(main, _cluster())
+
+    def test_node_phase_can_read_global(self):
+        @ppm_function
+        def reader(ctx, A, B):
+            yield ctx.node_phase
+            B[0] = A[3]  # reading global shared is fine
+
+        def main(ppm):
+            A = ppm.global_shared("A", 4)
+            B = ppm.node_shared("B", 1)
+            A[3] = 9.0
+            ppm.do(1, reader, A, B)
+            return [B.instance(i)[0] for i in range(2)]
+
+        _, vals = run_ppm(main, _cluster())
+        assert vals == [9.0, 9.0]
+
+    def test_node_shared_writable_in_global_phase(self):
+        """The paper's section 5 example writes a node-shared array
+        inside a global phase."""
+
+        @ppm_function
+        def writer(ctx, B):
+            yield ctx.global_phase
+            B[ctx.node_rank] = float(ctx.node_rank)
+
+        def main(ppm):
+            B = ppm.node_shared("B", 2)
+            ppm.do(2, writer, B)
+            return B.instance(0).tolist()
+
+        _, vals = run_ppm(main, _cluster())
+        assert vals == [0.0, 1.0]
+
+    def test_mixed_kinds_on_one_node_rejected(self):
+        @ppm_function
+        def diverge(ctx):
+            if ctx.node_rank == 0:
+                yield ctx.global_phase
+            else:
+                yield ctx.node_phase
+
+        def main(ppm):
+            ppm.do(2, diverge)
+
+        with pytest.raises(PhaseUsageError, match="mixed phase kinds"):
+            run_ppm(main, _cluster())
+
+    def test_nodes_may_run_different_phase_counts(self):
+        """Node 0 runs extra node phases while node 1 waits at the
+        global phase (asynchronous modes, paper section 3.3)."""
+
+        @ppm_function
+        def busy(ctx, B, n_local):
+            for _ in range(n_local):
+                yield ctx.node_phase
+                B[0] = B[0] + 1.0  # snapshot read + write each phase
+            yield ctx.global_phase
+
+        def main(ppm):
+            import functools
+
+            B = ppm.node_shared("B", 1)
+            f0 = functools.partial(busy, n_local=3)
+            f1 = functools.partial(busy, n_local=1)
+            ppm.do(1, [f0, f1], B)
+            return [B.instance(i)[0] for i in range(2)]
+
+        _, vals = run_ppm(main, _cluster())
+        assert vals == [3.0, 1.0]
+
+
+class TestProgramStructure:
+    def test_prologue_cannot_touch_shared(self):
+        @ppm_function
+        def bad(ctx, A):
+            _ = A[0]  # before any phase declaration
+            yield ctx.global_phase
+
+        def main(ppm):
+            A = ppm.global_shared("A", 2)
+            ppm.do(1, bad, A)
+
+        with pytest.raises(PpmError, match="prologue"):
+            run_ppm(main, _cluster())
+
+    def test_yield_of_non_phase_rejected(self):
+        @ppm_function
+        def bad(ctx):
+            yield "not a phase"
+
+        def main(ppm):
+            ppm.do(1, bad)
+
+        with pytest.raises(PhaseUsageError, match="phase declaration"):
+            run_ppm(main, _cluster())
+
+    def test_plain_function_is_single_global_phase(self):
+        def kernel(ctx, A):
+            A[ctx.global_rank] = 1.0
+
+        def main(ppm):
+            A = ppm.global_shared("A", 4)
+            stats = ppm.do(2, kernel, A)
+            assert stats.global_phases == 1
+            return A.committed
+
+        _, a = run_ppm(main, _cluster())
+        assert (a == 1.0).all()
+
+    def test_plain_function_node_phase_option(self):
+        def kernel(ctx, B):
+            B[ctx.node_rank] = 1.0
+
+        def main(ppm):
+            B = ppm.node_shared("B", 2)
+            stats = ppm.do(2, kernel, B, phase="node")
+            assert stats.node_phases == 2  # one per node
+            assert stats.global_phases == 0
+            return True
+
+        run_ppm(main, _cluster())
+
+    def test_vp_exception_is_wrapped_with_location(self):
+        @ppm_function
+        def boom(ctx):
+            yield ctx.global_phase
+            if ctx.global_rank == 2:
+                raise RuntimeError("kaboom")
+
+        def main(ppm):
+            ppm.do(2, boom)
+
+        with pytest.raises(VpProgramError, match="node 1, VP node-rank 0"):
+            run_ppm(main, _cluster())
+
+    def test_zero_vps_on_a_node(self):
+        @ppm_function
+        def kernel(ctx, A):
+            yield ctx.global_phase
+            A[ctx.global_rank] = 1.0
+
+        def main(ppm):
+            A = ppm.global_shared("A", 4)
+            stats = ppm.do([3, 0], kernel, A)
+            assert stats.vp_count == 3
+            return A.committed
+
+        _, a = run_ppm(main, _cluster())
+        assert a.tolist() == [1.0, 1.0, 1.0, 0.0]
+
+    def test_vp_count_validation(self):
+        def main(ppm):
+            ppm.do(-1, lambda ctx: None)
+
+        with pytest.raises(ValueError):
+            run_ppm(main, _cluster())
+
+    def test_per_node_count_length_validation(self):
+        def main(ppm):
+            ppm.do([1, 2, 3], lambda ctx: None)
+
+        with pytest.raises(ValueError, match="length"):
+            run_ppm(main, _cluster())
+
+    def test_ranks_and_system_variables(self):
+        seen = []
+
+        @ppm_function
+        def check(ctx):
+            yield ctx.global_phase
+            seen.append(
+                (
+                    ctx.node_id,
+                    ctx.node_rank,
+                    ctx.global_rank,
+                    ctx.node_vp_count,
+                    ctx.global_vp_count,
+                    ctx.node_count,
+                    ctx.cores_per_node,
+                )
+            )
+
+        def main(ppm):
+            ppm.do([2, 3], check)
+
+        run_ppm(main, _cluster())
+        assert len(seen) == 5
+        assert [s[2] for s in seen] == [0, 1, 2, 3, 4]  # global ranks
+        assert seen[0][:2] == (0, 0)
+        assert seen[2][:2] == (1, 0)
+        assert seen[2][3] == 3  # node 1 has 3 VPs
+        assert all(s[4] == 5 and s[5] == 2 and s[6] == 2 for s in seen)

@@ -1,0 +1,87 @@
+"""Tests for the per-phase timing profiler."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import testing as mkconfig
+from repro.core import ppm_function, run_ppm
+from repro.core.runtime import PhaseProfile
+from repro.machine import Cluster
+
+
+def _cluster(**kw):
+    return Cluster(mkconfig(n_nodes=2, cores_per_node=2, **kw))
+
+
+@ppm_function
+def _kernel(ctx, A):
+    yield ctx.node_phase
+    ctx.work(10_000)
+    yield ctx.global_phase
+    _ = A[-2:]  # remote read for node 0
+    ctx.work(50_000)
+
+
+def _run():
+    def main(ppm):
+        A = ppm.global_shared("A", 8)
+        ppm.do(2, _kernel, A)
+        return ppm.profile
+
+    return run_ppm(main, _cluster())
+
+
+class TestProfile:
+    def test_one_entry_per_phase(self):
+        _, prof = _run()
+        assert len(prof) == 3  # two node phases (one per node) + one global
+        kinds = [p.kind for p in prof]
+        assert kinds.count("node") == 2
+        assert kinds.count("global") == 1
+
+    def test_indices_are_sequential(self):
+        _, prof = _run()
+        assert [p.index for p in prof] == [0, 1, 2]
+
+    def test_global_phase_covers_all_nodes(self):
+        _, prof = _run()
+        g = next(p for p in prof if p.kind == "global")
+        assert set(g.node_timings) == {0, 1}
+
+    def test_node_phase_covers_one_node(self):
+        _, prof = _run()
+        for p in prof:
+            if p.kind == "node":
+                assert len(p.node_timings) == 1
+
+    def test_comm_attributed_to_reading_node(self):
+        _, prof = _run()
+        g = next(p for p in prof if p.kind == "global")
+        assert g.node_timings[0].comm > 0  # node 0 fetched remote rows
+        assert g.busiest_node == 0
+
+    def test_compute_recorded(self):
+        _, prof = _run()
+        g = next(p for p in prof if p.kind == "global")
+        cfg = mkconfig()
+        assert g.node_timings[1].compute >= 50_000 * cfg.flop_time
+
+    def test_t_end_monotone_within_global_phases(self):
+        _, prof = _run()
+        g_times = [p.t_end for p in prof if p.kind == "global"]
+        assert g_times == sorted(g_times)
+
+    def test_latency_rounds_recorded(self):
+        @ppm_function
+        def walker(ctx, A):
+            yield ctx.phase("global", latency_rounds=7)
+            _ = A[-1:]
+
+        def main(ppm):
+            A = ppm.global_shared("B", 8)
+            ppm.do(1, walker, A)
+            return ppm.profile
+
+        _, prof = run_ppm(main, _cluster())
+        assert prof[-1].latency_rounds == 7

@@ -1,0 +1,143 @@
+"""Tests for phase-timing composition and the bundled comm cost."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import MachineConfig
+from repro.core.bundling import NodeTraffic, PeerTraffic
+from repro.core.program import PpmProgram
+from repro.core.scheduler import compose_phase_timing, node_comm_cost, node_compute_time
+from repro.machine import Cluster
+from repro.machine.network import ZERO_COST, NetworkModel
+
+
+def _traffic_with(shared, reads=0, writes=0, owner=1):
+    return NodeTraffic(
+        node_id=0,
+        peers=[PeerTraffic(shared=shared, owner=owner, read_elems=reads, write_elems=writes)],
+    )
+
+
+@pytest.fixture
+def shared():
+    ppm = PpmProgram(Cluster(MachineConfig(n_nodes=2)))
+    return ppm.global_shared("S", 100)
+
+
+class TestNodeCommCost:
+    def test_empty_traffic_is_free(self):
+        net = NetworkModel(MachineConfig())
+        assert node_comm_cost(net, NodeTraffic(node_id=0)) == ZERO_COST
+
+    def test_reads_pay_round_trip_latency(self, shared):
+        net = NetworkModel(MachineConfig())
+        cost = node_comm_cost(net, _traffic_with(shared, reads=10))
+        # one request + one reply bundle
+        assert cost.messages == 2
+        assert cost.wire_time >= 2 * net.config.net_alpha
+
+    def test_writes_pay_single_hop(self, shared):
+        net = NetworkModel(MachineConfig())
+        cost = node_comm_cost(net, _traffic_with(shared, writes=10))
+        assert cost.messages == 1
+        assert cost.wire_time == pytest.approx(
+            net.config.net_alpha + cost.payload_bytes * net.config.net_beta
+        )
+
+    def test_latency_once_across_peers(self, shared):
+        """Bundles to many peers go out concurrently: alpha is paid per
+        fetch round, not per peer."""
+        net = NetworkModel(MachineConfig(n_nodes=8))
+        one_peer = node_comm_cost(net, _traffic_with(shared, reads=100))
+        many = NodeTraffic(
+            node_id=0,
+            peers=[
+                PeerTraffic(shared=shared, owner=o, read_elems=100) for o in (1, 2, 3)
+            ],
+        )
+        three_peers = node_comm_cost(net, many)
+        alpha_part_one = 2 * net.config.net_alpha
+        assert three_peers.wire_time - 3 * (one_peer.wire_time - alpha_part_one) == pytest.approx(
+            alpha_part_one
+        )
+
+    def test_latency_rounds_multiply_alpha_only(self, shared):
+        net = NetworkModel(MachineConfig())
+        r1 = node_comm_cost(net, _traffic_with(shared, reads=100), latency_rounds=1)
+        r5 = node_comm_cost(net, _traffic_with(shared, reads=100), latency_rounds=5)
+        assert r5.payload_bytes == r1.payload_bytes
+        assert r5.wire_time - r1.wire_time == pytest.approx(8 * net.config.net_alpha)
+
+    def test_unbundled_message_count(self, shared):
+        net = NetworkModel(MachineConfig(bundling=False))
+        cost = node_comm_cost(net, _traffic_with(shared, reads=25))
+        assert cost.messages == 50  # 25 requests + 25 replies
+
+
+class TestComposeTiming:
+    def test_zero_everything(self):
+        cfg = MachineConfig()
+        t = compose_phase_timing(
+            cfg, NetworkModel(cfg), compute=0.0, commit_cpu=0.0, comm_cost=ZERO_COST
+        )
+        assert t.busy == 0.0
+
+    def test_overlap_capped_by_comm(self):
+        cfg = MachineConfig(overlap_fraction=0.9)
+        from repro.machine.network import BundleCost
+
+        t = compose_phase_timing(
+            cfg,
+            NetworkModel(cfg),
+            compute=100.0,
+            commit_cpu=0.0,
+            comm_cost=BundleCost(1, 8, 1.0, 0.0),
+        )
+        assert t.overlapped == pytest.approx(1.0)  # all comm hidden
+        assert t.busy == pytest.approx(100.0)
+
+    def test_overlap_capped_by_compute_fraction(self):
+        cfg = MachineConfig(overlap_fraction=0.5)
+        from repro.machine.network import BundleCost
+
+        t = compose_phase_timing(
+            cfg,
+            NetworkModel(cfg),
+            compute=2.0,
+            commit_cpu=0.0,
+            comm_cost=BundleCost(1, 8, 10.0, 0.0),
+        )
+        assert t.overlapped == pytest.approx(1.0)  # 0.5 * compute
+        assert t.busy == pytest.approx(2.0 + 10.0 - 1.0)
+
+    def test_contention_applies_without_scheduling(self):
+        from repro.machine.network import BundleCost
+
+        cost = BundleCost(4, 4096, 1.0, 0.1)
+        base = MachineConfig(cores_per_node=8, nic_scheduling=False)
+        t = compose_phase_timing(
+            base, NetworkModel(base), compute=0.0, commit_cpu=0.0, comm_cost=cost
+        )
+        factor = NetworkModel(base).contention_factor(8)
+        assert t.comm == pytest.approx(1.0 * factor + 0.1)
+
+    def test_extra_comm_cpu_added(self):
+        cfg = MachineConfig()
+        t = compose_phase_timing(
+            cfg,
+            NetworkModel(cfg),
+            compute=0.0,
+            commit_cpu=0.0,
+            comm_cost=ZERO_COST,
+            extra_comm_cpu=0.5,
+        )
+        assert t.comm == pytest.approx(0.5)
+
+
+class TestNodeComputeTime:
+    def test_max_over_cores(self):
+        assert node_compute_time({0: 0.5, 3: 1.5}) == 1.5
+
+    def test_empty_is_zero(self):
+        assert node_compute_time({}) == 0.0

@@ -1,0 +1,46 @@
+"""Tests for VP identity and VP→core loop scheduling."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import PhaseUsageError
+from repro.core.vp import core_of
+
+
+class TestCoreOf:
+    def test_even_split(self):
+        assert [core_of(r, 8, 4) for r in range(8)] == [0, 0, 1, 1, 2, 2, 3, 3]
+
+    def test_fewer_vps_than_cores(self):
+        cores = [core_of(r, 2, 4) for r in range(2)]
+        assert cores == [0, 2]
+
+    def test_single_core(self):
+        assert all(core_of(r, 5, 1) == 0 for r in range(5))
+
+    def test_contiguous_chunks(self):
+        """VPs on one core form a contiguous rank interval (loop
+        conversion, paper section 3.4)."""
+        assignment = [core_of(r, 10, 3) for r in range(10)]
+        for c in range(3):
+            ranks = [r for r, cc in enumerate(assignment) if cc == c]
+            assert ranks == list(range(min(ranks), max(ranks) + 1))
+
+    def test_balanced_within_one(self):
+        assignment = [core_of(r, 11, 4) for r in range(11)]
+        counts = [assignment.count(c) for c in range(4)]
+        assert max(counts) - min(counts) <= 1
+
+    def test_never_exceeds_core_count(self):
+        assert max(core_of(r, 100, 7) for r in range(100)) == 6
+
+    def test_rank_validation(self):
+        with pytest.raises(PhaseUsageError):
+            core_of(5, 5, 2)
+        with pytest.raises(PhaseUsageError):
+            core_of(-1, 5, 2)
+
+    def test_cores_validation(self):
+        with pytest.raises(PhaseUsageError):
+            core_of(0, 1, 0)

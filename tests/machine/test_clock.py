@@ -1,0 +1,56 @@
+"""Tests for logical clocks."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.machine.clock import LogicalClock
+
+
+class TestLogicalClock:
+    def test_starts_at_zero(self):
+        assert LogicalClock().now == 0.0
+
+    def test_custom_start(self):
+        assert LogicalClock(5.0).now == 5.0
+
+    def test_rejects_negative_start(self):
+        with pytest.raises(ValueError):
+            LogicalClock(-1.0)
+
+    def test_advance_accumulates(self):
+        c = LogicalClock()
+        c.advance(1.5)
+        c.advance(0.5)
+        assert c.now == 2.0
+
+    def test_advance_returns_new_time(self):
+        assert LogicalClock().advance(3.0) == 3.0
+
+    def test_advance_rejects_negative(self):
+        with pytest.raises(ValueError):
+            LogicalClock().advance(-0.1)
+
+    def test_merge_moves_forward(self):
+        c = LogicalClock(1.0)
+        c.merge(4.0)
+        assert c.now == 4.0
+
+    def test_merge_never_moves_backward(self):
+        c = LogicalClock(5.0)
+        c.merge(2.0)
+        assert c.now == 5.0
+
+    def test_reset(self):
+        c = LogicalClock(9.0)
+        c.reset()
+        assert c.now == 0.0
+
+    def test_reset_to_value(self):
+        c = LogicalClock(9.0)
+        c.reset(3.0)
+        assert c.now == 3.0
+
+    def test_reset_rejects_negative(self):
+        with pytest.raises(ValueError):
+            LogicalClock().reset(-1.0)

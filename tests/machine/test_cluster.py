@@ -1,0 +1,82 @@
+"""Tests for cluster topology and rank mapping."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import testing as mkconfig
+from repro.machine import Cluster
+
+
+class TestTopology:
+    def test_node_count(self, cluster2x2):
+        assert cluster2x2.n_nodes == 2
+        assert len(list(cluster2x2)) == 2
+
+    def test_total_cores(self, cluster2x2):
+        assert cluster2x2.total_cores == 4
+
+    def test_node_lookup(self, cluster2x2):
+        assert cluster2x2.node(1).node_id == 1
+
+    def test_node_lookup_out_of_range(self, cluster2x2):
+        with pytest.raises(IndexError):
+            cluster2x2.node(2)
+
+    def test_each_node_has_core_clocks(self, cluster2x2):
+        for node in cluster2x2:
+            assert len(node.core_clocks) == 2
+
+
+class TestRankMapping:
+    def test_node_major_layout(self):
+        cluster = Cluster(mkconfig(n_nodes=3, cores_per_node=4))
+        assert cluster.rank_to_node(0) == 0
+        assert cluster.rank_to_node(3) == 0
+        assert cluster.rank_to_node(4) == 1
+        assert cluster.rank_to_node(11) == 2
+
+    def test_core_within_node(self):
+        cluster = Cluster(mkconfig(n_nodes=3, cores_per_node=4))
+        assert cluster.rank_to_core(0) == 0
+        assert cluster.rank_to_core(5) == 1
+        assert cluster.rank_to_core(11) == 3
+
+    def test_same_node(self, cluster2x2):
+        assert cluster2x2.same_node(0, 1)
+        assert not cluster2x2.same_node(1, 2)
+
+    def test_rank_out_of_range(self, cluster2x2):
+        with pytest.raises(IndexError):
+            cluster2x2.rank_to_node(4)
+        with pytest.raises(IndexError):
+            cluster2x2.rank_to_core(-1)
+
+
+class TestClocks:
+    def test_elapsed_is_max_node_clock(self, cluster2x2):
+        cluster2x2.node(0).clock.advance(1.0)
+        cluster2x2.node(1).clock.advance(3.0)
+        assert cluster2x2.elapsed == 3.0
+
+    def test_sync_cores_takes_max(self, cluster2x2):
+        node = cluster2x2.node(0)
+        node.core_clocks[0].advance(1.0)
+        node.core_clocks[1].advance(2.0)
+        t = node.sync_cores()
+        assert t == 2.0
+        assert node.clock.now == 2.0
+        assert all(c.now == 2.0 for c in node.core_clocks)
+
+    def test_reset_clocks(self, cluster2x2):
+        cluster2x2.node(0).clock.advance(5.0)
+        cluster2x2.node(1).core_clocks[1].advance(2.0)
+        cluster2x2.reset_clocks()
+        assert cluster2x2.elapsed == 0.0
+        assert cluster2x2.node(1).core_clocks[1].now == 0.0
+
+    def test_node_needs_a_core(self):
+        from repro.machine.cluster import Node
+
+        with pytest.raises(ValueError):
+            Node(0, cores=0)

@@ -1,0 +1,91 @@
+"""Tests for the machine configuration and presets."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.config import MachineConfig, franklin, manycore, testing as mkconfig
+
+
+class TestValidation:
+    def test_defaults_are_valid(self):
+        cfg = MachineConfig()
+        assert cfg.n_nodes == 1
+        assert cfg.cores_per_node == 4
+
+    def test_rejects_zero_nodes(self):
+        with pytest.raises(ValueError, match="n_nodes"):
+            MachineConfig(n_nodes=0)
+
+    def test_rejects_zero_cores(self):
+        with pytest.raises(ValueError, match="cores_per_node"):
+            MachineConfig(cores_per_node=0)
+
+    def test_rejects_negative_costs(self):
+        with pytest.raises(ValueError, match="net_alpha"):
+            MachineConfig(net_alpha=-1.0)
+
+    def test_rejects_tiny_bundle(self):
+        with pytest.raises(ValueError, match="bundle_max_bytes"):
+            MachineConfig(bundle_max_bytes=4)
+
+    def test_rejects_bad_overlap_fraction(self):
+        with pytest.raises(ValueError, match="overlap_fraction"):
+            MachineConfig(overlap_fraction=1.5)
+
+    def test_frozen(self):
+        cfg = MachineConfig()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            cfg.n_nodes = 5
+
+
+class TestDerived:
+    def test_total_cores(self):
+        assert MachineConfig(n_nodes=3, cores_per_node=4).total_cores == 12
+
+    def test_replace_creates_variant(self):
+        cfg = MachineConfig()
+        cfg2 = cfg.replace(n_nodes=8)
+        assert cfg2.n_nodes == 8
+        assert cfg.n_nodes == 1
+        assert cfg2.cores_per_node == cfg.cores_per_node
+
+    def test_replace_validates(self):
+        with pytest.raises(ValueError):
+            MachineConfig().replace(n_nodes=-1)
+
+
+class TestSmartMap:
+    def test_overhead_without_smartmap(self):
+        cfg = MachineConfig()
+        assert cfg.effective_msg_overhead(intra_node=True) == cfg.mpi_msg_overhead
+        assert cfg.effective_msg_overhead(intra_node=False) == cfg.mpi_msg_overhead
+
+    def test_smartmap_only_affects_intra_node(self):
+        cfg = MachineConfig(smartmap=True)
+        assert cfg.effective_msg_overhead(intra_node=True) == cfg.smartmap_msg_overhead
+        assert cfg.effective_msg_overhead(intra_node=False) == cfg.mpi_msg_overhead
+
+    def test_smartmap_is_cheaper(self):
+        cfg = MachineConfig(smartmap=True)
+        assert cfg.smartmap_msg_overhead < cfg.mpi_msg_overhead
+
+
+class TestPresets:
+    def test_franklin_is_quad_core(self):
+        assert franklin(n_nodes=16).cores_per_node == 4
+        assert franklin(n_nodes=16).n_nodes == 16
+
+    def test_manycore_core_count(self):
+        assert manycore(cores_per_node=256).cores_per_node == 256
+
+    def test_presets_accept_overrides(self):
+        cfg = franklin(n_nodes=2, smartmap=True)
+        assert cfg.smartmap
+
+    def test_testing_preset(self):
+        cfg = mkconfig()
+        assert cfg.n_nodes == 2
+        assert cfg.cores_per_node == 2

@@ -1,0 +1,82 @@
+"""Tests for per-node shared memory segments."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.machine.memory import NodeMemory
+
+
+@pytest.fixture
+def mem() -> NodeMemory:
+    return NodeMemory(node_id=0)
+
+
+class TestAllocate:
+    def test_allocate_shape_and_fill(self, mem):
+        arr = mem.allocate("x", (3, 2), dtype=np.int32, fill=7)
+        assert arr.shape == (3, 2)
+        assert arr.dtype == np.int32
+        assert (arr == 7).all()
+
+    def test_allocate_uninitialised(self, mem):
+        arr = mem.allocate("x", 5, fill=None)
+        assert arr.shape == (5,)
+
+    def test_duplicate_name_rejected(self, mem):
+        mem.allocate("x", 3)
+        with pytest.raises(KeyError, match="already allocated"):
+            mem.allocate("x", 3)
+
+    def test_adopt_no_copy(self, mem):
+        src = np.arange(4.0)
+        arr = mem.adopt("y", src)
+        assert arr is src
+        src[0] = 99.0
+        assert mem.get("y")[0] == 99.0
+
+    def test_adopt_duplicate_rejected(self, mem):
+        mem.adopt("y", np.zeros(2))
+        with pytest.raises(KeyError):
+            mem.adopt("y", np.zeros(2))
+
+
+class TestLookup:
+    def test_get_returns_segment(self, mem):
+        arr = mem.allocate("x", 3)
+        assert mem.get("x") is arr
+
+    def test_get_unknown_raises(self, mem):
+        with pytest.raises(KeyError, match="not allocated"):
+            mem.get("nope")
+
+    def test_contains(self, mem):
+        mem.allocate("x", 1)
+        assert "x" in mem
+        assert "y" not in mem
+
+    def test_iteration_and_len(self, mem):
+        mem.allocate("a", 1)
+        mem.allocate("b", 1)
+        assert sorted(mem) == ["a", "b"]
+        assert len(mem) == 2
+
+
+class TestFree:
+    def test_free_releases_name(self, mem):
+        mem.allocate("x", 3)
+        mem.free("x")
+        assert "x" not in mem
+        mem.allocate("x", 5)  # re-usable
+
+    def test_free_unknown_raises(self, mem):
+        with pytest.raises(KeyError):
+            mem.free("x")
+
+
+class TestAccounting:
+    def test_total_bytes(self, mem):
+        mem.allocate("a", 10, dtype=np.float64)
+        mem.allocate("b", 4, dtype=np.int32)
+        assert mem.total_bytes == 10 * 8 + 4 * 4

@@ -1,0 +1,52 @@
+"""Tests for event tracing and statistics."""
+
+from __future__ import annotations
+
+from repro.machine.trace import Trace
+
+
+class TestRecording:
+    def test_records_events(self):
+        tr = Trace()
+        tr.record("msg", 0, 1.0, messages=1, nbytes=100)
+        tr.record("phase", 1, 2.0)
+        assert len(tr) == 2
+        assert tr.events[0].kind == "msg"
+        assert tr.events[1].who == 1
+
+    def test_by_kind_filter(self):
+        tr = Trace()
+        tr.record("msg", 0, 1.0)
+        tr.record("phase", 0, 2.0)
+        tr.record("msg", 1, 3.0)
+        assert len(list(tr.by_kind("msg"))) == 2
+
+    def test_disabled_skips_events_keeps_counters(self):
+        tr = Trace(enabled=False)
+        tr.record("msg", 0, 1.0, messages=3, nbytes=300)
+        assert len(tr) == 0
+        assert tr.total_messages("msg") == 3
+        assert tr.total_bytes("msg") == 300
+
+
+class TestAggregates:
+    def test_totals_by_kind(self):
+        tr = Trace()
+        tr.record("msg", 0, 1.0, messages=2, nbytes=10)
+        tr.record("msg", 1, 2.0, messages=3, nbytes=20)
+        tr.record("bundle", 0, 3.0, messages=1, nbytes=5)
+        assert tr.total_messages("msg") == 5
+        assert tr.total_bytes("msg") == 30
+        assert tr.total_messages() == 6
+        assert tr.total_bytes() == 35
+
+    def test_unknown_kind_is_zero(self):
+        tr = Trace()
+        assert tr.total_messages("nope") == 0
+
+    def test_clear(self):
+        tr = Trace()
+        tr.record("msg", 0, 1.0, messages=1, nbytes=1)
+        tr.clear()
+        assert len(tr) == 0
+        assert tr.total_messages() == 0

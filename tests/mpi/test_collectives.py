@@ -1,0 +1,239 @@
+"""Tests for simulated MPI collectives: values, determinism, timing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import testing as mkconfig
+from repro.machine import Cluster
+from repro.mpi import run_mpi
+
+
+def _run(prog, n_nodes=2, cores=2, **cfg):
+    cluster = Cluster(mkconfig(n_nodes=n_nodes, cores_per_node=cores, **cfg))
+    return run_mpi(prog, cluster), cluster
+
+
+class TestBarrier:
+    def test_synchronises_clocks(self):
+        def prog(comm):
+            comm.work(comm.rank * 1_000_000)
+            comm.barrier()
+            return comm.now
+
+        (res, _) = _run(prog)
+        assert len(set(res.results)) == 1
+        assert res.results[0] >= 3e-3
+
+
+class TestBcast:
+    def test_root_value_everywhere(self):
+        def prog(comm):
+            data = {"v": 42} if comm.rank == 0 else None
+            return comm.bcast(data, root=0)
+
+        (res, _) = _run(prog)
+        assert all(r == {"v": 42} for r in res.results)
+
+    def test_nonzero_root(self):
+        def prog(comm):
+            data = comm.rank if comm.rank == 3 else None
+            return comm.bcast(data, root=3)
+
+        (res, _) = _run(prog)
+        assert all(r == 3 for r in res.results)
+
+    def test_array_not_aliased_between_ranks(self):
+        def prog(comm):
+            data = np.zeros(4) if comm.rank == 0 else None
+            got = comm.bcast(data, root=0)
+            got[comm.rank] = comm.rank + 1.0
+            return got.tolist()
+
+        (res, _) = _run(prog)
+        # each rank mutated only its own copy
+        for r, out in enumerate(res.results):
+            expected = [0.0] * 4
+            expected[r] = r + 1.0
+            assert out == expected
+
+    def test_bad_root(self):
+        def prog(comm):
+            comm.bcast(1, root=9)
+
+        with pytest.raises(RuntimeError, match="root"):
+            _run(prog)
+
+
+class TestReduceAllreduce:
+    def test_reduce_sum_at_root(self):
+        def prog(comm):
+            return comm.reduce(comm.rank + 1, op="sum", root=0)
+
+        (res, _) = _run(prog)
+        assert res.results[0] == 1 + 2 + 3 + 4
+        assert all(r is None for r in res.results[1:])
+
+    def test_allreduce_everywhere(self):
+        def prog(comm):
+            return comm.allreduce(comm.rank, op="max")
+
+        (res, _) = _run(prog)
+        assert all(r == 3 for r in res.results)
+
+    def test_allreduce_arrays_elementwise(self):
+        def prog(comm):
+            return comm.allreduce(np.full(3, float(comm.rank)), op="sum")
+
+        (res, _) = _run(prog)
+        assert np.allclose(res.results[0], [6.0, 6.0, 6.0])
+
+    def test_min_op(self):
+        def prog(comm):
+            return comm.allreduce(10 - comm.rank, op="min")
+
+        (res, _) = _run(prog)
+        assert all(r == 7 for r in res.results)
+
+    def test_custom_callable_op(self):
+        def prog(comm):
+            return comm.allreduce((comm.rank,), op=lambda a, b: a + b)
+
+        (res, _) = _run(prog)
+        assert res.results[0] == (0, 1, 2, 3)
+
+    def test_float_determinism(self):
+        """Fold order is rank order, so float sums are bit-identical
+        across repetitions."""
+
+        def prog(comm):
+            rng = np.random.default_rng(comm.rank)
+            return comm.allreduce(rng.uniform(), op="sum")
+
+        (r1, _) = _run(prog)
+        (r2, _) = _run(prog)
+        assert r1.results[0] == r2.results[0]
+
+
+class TestGatherScatter:
+    def test_gather_to_root(self):
+        def prog(comm):
+            return comm.gather(comm.rank * 2, root=1)
+
+        (res, _) = _run(prog)
+        assert res.results[1] == [0, 2, 4, 6]
+        assert res.results[0] is None
+
+    def test_allgather(self):
+        def prog(comm):
+            return comm.allgather(chr(ord("a") + comm.rank))
+
+        (res, _) = _run(prog)
+        assert all(r == ["a", "b", "c", "d"] for r in res.results)
+
+    def test_scatter(self):
+        def prog(comm):
+            values = [i * i for i in range(comm.size)] if comm.rank == 0 else None
+            return comm.scatter(values, root=0)
+
+        (res, _) = _run(prog)
+        assert res.results == [0, 1, 4, 9]
+
+    def test_scatter_wrong_length(self):
+        def prog(comm):
+            values = [1] if comm.rank == 0 else None
+            comm.scatter(values, root=0)
+
+        with pytest.raises(RuntimeError, match="exactly"):
+            _run(prog)
+
+
+class TestScanAlltoall:
+    def test_inclusive_scan(self):
+        def prog(comm):
+            return comm.scan(comm.rank + 1, op="sum")
+
+        (res, _) = _run(prog)
+        assert res.results == [1, 3, 6, 10]
+
+    def test_alltoall_transpose(self):
+        def prog(comm):
+            out = comm.alltoall([f"{comm.rank}->{j}" for j in range(comm.size)])
+            return out
+
+        (res, _) = _run(prog)
+        for j, row in enumerate(res.results):
+            assert row == [f"{i}->{j}" for i in range(4)]
+
+    def test_alltoall_wrong_length(self):
+        def prog(comm):
+            comm.alltoall([1, 2])
+
+        with pytest.raises(RuntimeError, match="exactly"):
+            _run(prog)
+
+
+class TestCollectiveTiming:
+    def test_collective_advances_clock(self):
+        def prog(comm):
+            t0 = comm.now
+            comm.allreduce(1.0)
+            return comm.now - t0
+
+        (res, _) = _run(prog)
+        assert all(dt > 0 for dt in res.results)
+
+    def test_larger_job_costs_more(self):
+        def prog(comm):
+            comm.allreduce(np.zeros(1000))
+            return comm.now
+
+        (small, _) = _run(prog, n_nodes=2)
+        (large, _) = _run(prog, n_nodes=8)
+        assert max(large.results) > max(small.results)
+
+    def test_smartmap_cheapens_single_node_collectives(self):
+        def prog(comm):
+            comm.barrier()
+            for _ in range(10):
+                comm.allreduce(1.0)
+            return comm.now
+
+        (plain, _) = _run(prog, n_nodes=1, cores=4)
+        (smart, _) = _run(prog, n_nodes=1, cores=4, smartmap=True)
+        assert max(smart.results) < max(plain.results)
+
+
+class TestAlltoallAlgorithmChoice:
+    def test_small_payload_alltoall_scales_sublinearly(self):
+        """Tiny-payload all-to-alls use the Bruck-style log-P bound, so
+        quadrupling the rank count must not quadruple the cost."""
+
+        def prog(comm):
+            comm.barrier()
+            t0 = comm.now
+            comm.alltoall([1] * comm.size)
+            return comm.now - t0
+
+        (small, _) = _run(prog, n_nodes=2, cores=2)  # 4 ranks
+        (large, _) = _run(prog, n_nodes=8, cores=2)  # 16 ranks
+        assert max(large.results) < 3.0 * max(small.results)
+
+    def test_large_payload_alltoall_costs_bandwidth(self):
+        def prog(comm):
+            comm.barrier()
+            t0 = comm.now
+            comm.alltoall([np.zeros(50_000) for _ in range(comm.size)])
+            return comm.now - t0
+
+        (small, _) = _run(prog)
+
+        def prog_tiny(comm):
+            comm.barrier()
+            t0 = comm.now
+            comm.alltoall([np.zeros(10) for _ in range(comm.size)])
+            return comm.now - t0
+
+        (tiny, _) = _run(prog_tiny)
+        assert max(small.results) > 10 * max(tiny.results)

@@ -1,0 +1,91 @@
+"""Tests for payload size estimation and defensive copying."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.mpi.datatypes import copy_payload, payload_nbytes
+
+
+class TestPayloadNbytes:
+    def test_numpy_array_exact(self):
+        assert payload_nbytes(np.zeros(10, dtype=np.float64)) == 80
+        assert payload_nbytes(np.zeros((2, 3), dtype=np.int32)) == 24
+
+    def test_numpy_scalar(self):
+        assert payload_nbytes(np.float64(1.0)) == 8
+
+    def test_bytes_and_str(self):
+        assert payload_nbytes(b"abcd") == 4
+        assert payload_nbytes("héllo") == len("héllo".encode())
+
+    def test_scalars(self):
+        assert payload_nbytes(42) == 8
+        assert payload_nbytes(3.14) == 8
+        assert payload_nbytes(True) == 1
+        assert payload_nbytes(None) == 1
+
+    def test_containers_recursive(self):
+        flat = payload_nbytes([1.0, 2.0])
+        assert flat == 16 + 16  # header + two scalars
+        nested = payload_nbytes({"k": [1.0, 2.0]})
+        assert nested > flat
+
+    def test_arbitrary_object_falls_back_to_pickle(self):
+        class Thing:
+            def __init__(self):
+                self.x = 1
+
+        assert payload_nbytes(Thing()) > 0
+
+    def test_deterministic(self):
+        obj = {"a": np.arange(5), "b": (1, 2, "x")}
+        assert payload_nbytes(obj) == payload_nbytes(obj)
+
+
+class TestCopyPayload:
+    def test_ndarray_is_copied(self):
+        a = np.arange(3.0)
+        b = copy_payload(a)
+        b[0] = 99.0
+        assert a[0] == 0.0
+
+    def test_immutables_pass_through(self):
+        assert copy_payload("s") == "s"
+        assert copy_payload(5) == 5
+        assert copy_payload(None) is None
+
+    def test_nested_containers_deep_copied(self):
+        src = {"arr": np.zeros(2), "lst": [np.ones(2)]}
+        dst = copy_payload(src)
+        dst["arr"][0] = 7.0
+        dst["lst"][0][0] = 7.0
+        assert src["arr"][0] == 0.0
+        assert src["lst"][0][0] == 1.0
+
+    def test_tuple_and_set(self):
+        t = copy_payload((1, np.zeros(1)))
+        assert isinstance(t, tuple)
+        s = copy_payload({1, 2})
+        assert s == {1, 2}
+
+    def test_arbitrary_object_via_pickle(self):
+        class Thing:
+            def __init__(self, x):
+                self.x = x
+
+            def __eq__(self, other):
+                return self.x == other.x
+
+        import sys
+
+        module = sys.modules[__name__]
+        module.Thing = Thing  # make picklable
+        Thing.__qualname__ = "Thing"
+        Thing.__module__ = __name__
+        src = Thing([1, 2])
+        dst = copy_payload(src)
+        assert dst == src
+        dst.x.append(3)
+        assert src.x == [1, 2]

@@ -1,0 +1,68 @@
+"""Tests for the SPMD launcher."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import testing as mkconfig
+from repro.machine import Cluster
+from repro.mpi import MpiDeadlockError, run_mpi
+
+
+class TestLaunch:
+    def test_one_rank_per_core_by_default(self, cluster2x2):
+        res = run_mpi(lambda comm: comm.size, cluster2x2)
+        assert res.results == [4, 4, 4, 4]
+
+    def test_reduced_rank_count(self, cluster2x2):
+        res = run_mpi(lambda comm: comm.rank, cluster2x2, ranks=2)
+        assert res.results == [0, 1]
+
+    def test_rank_count_validation(self, cluster2x2):
+        with pytest.raises(ValueError):
+            run_mpi(lambda comm: None, cluster2x2, ranks=5)
+        with pytest.raises(ValueError):
+            run_mpi(lambda comm: None, cluster2x2, ranks=0)
+
+    def test_extra_args_passed_through(self, cluster2x2):
+        def prog(comm, a, b=0):
+            return a + b + comm.rank
+
+        res = run_mpi(prog, cluster2x2, 10, b=5)
+        assert res.results == [15, 16, 17, 18]
+
+    def test_node_and_core_identity(self, cluster2x2):
+        def prog(comm):
+            return (comm.ctx.node_id, comm.ctx.core_id)
+
+        res = run_mpi(prog, cluster2x2)
+        assert res.results == [(0, 0), (0, 1), (1, 0), (1, 1)]
+
+
+class TestResults:
+    def test_elapsed_is_max_rank_time(self, cluster2x2):
+        def prog(comm):
+            comm.work(comm.rank * 1e6)
+
+        res = run_mpi(prog, cluster2x2)
+        assert res.elapsed == pytest.approx(max(res.rank_times))
+        assert res.rank_times[3] > res.rank_times[0]
+
+    def test_rank_exception_propagates(self, cluster2x2):
+        def prog(comm):
+            if comm.rank == 2:
+                raise ValueError("boom")
+            return comm.rank
+
+        with pytest.raises(RuntimeError, match="rank 2 failed"):
+            run_mpi(prog, cluster2x2)
+
+    def test_deadlock_detection(self):
+        cluster = Cluster(mkconfig(n_nodes=1, cores_per_node=2))
+
+        def prog(comm):
+            # both ranks recv a message nobody sends
+            comm.recv(source=comm.rank ^ 1, tag=1)
+
+        with pytest.raises((MpiDeadlockError, RuntimeError)):
+            run_mpi(prog, cluster, timeout=1.0)

@@ -1,0 +1,58 @@
+"""Smoke tests: the fast examples must run end-to-end as scripts.
+
+The heavyweight examples (cg_solver, matrix_generation, barnes_hut,
+graph_bfs, triangular_solve) exercise code paths already covered by
+tests/apps at smaller sizes; here we execute the two quick ones in a
+real subprocess to catch import/path/printing regressions.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+_EXAMPLES = os.path.join(os.path.dirname(__file__), "..", "examples")
+
+
+def _run_example(name: str) -> str:
+    proc = subprocess.run(
+        [sys.executable, os.path.join(_EXAMPLES, name)],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert proc.returncode == 0, proc.stderr
+    return proc.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = _run_example("quickstart.py")
+        assert "OK" in out
+        assert "simulated time" in out
+
+    def test_histogram(self):
+        out = _run_example("histogram.py")
+        assert "binned into" in out
+        assert "simulated time" in out
+
+    def test_all_examples_exist_and_have_docstrings(self):
+        expected = {
+            "quickstart.py",
+            "cg_solver.py",
+            "matrix_generation.py",
+            "barnes_hut.py",
+            "histogram.py",
+            "graph_bfs.py",
+            "triangular_solve.py",
+            "multigrid_solver.py",
+        }
+        present = {f for f in os.listdir(_EXAMPLES) if f.endswith(".py")}
+        assert expected <= present
+        for name in expected:
+            with open(os.path.join(_EXAMPLES, name)) as fh:
+                head = fh.read(200)
+            assert head.lstrip().startswith('"""'), f"{name} lacks a docstring"

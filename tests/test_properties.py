@@ -1,0 +1,374 @@
+"""Property-based tests (hypothesis) for core data structures and
+invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.barneshut.octree import build_octree, check_octree
+from repro.apps.barneshut.serial_bh import bh_forces, direct_forces
+from repro.apps.common import hash_u64, hash_unit, split_range
+from repro.config import MachineConfig, testing as mkconfig
+from repro.core import ppm_function, run_ppm
+from repro.core.shared import RowSpec, _normalize_rows
+from repro.machine import Cluster
+from repro.machine.clock import LogicalClock
+from repro.machine.network import NetworkModel
+from repro.mpi.collectives import fold
+from repro.mpi.datatypes import copy_payload, payload_nbytes
+
+
+class TestSplitRangeProperties:
+    @given(n=st.integers(0, 10_000), parts=st.integers(1, 64))
+    def test_partition_properties(self, n, parts):
+        blocks = split_range(n, parts)
+        assert len(blocks) == parts
+        assert blocks[0][0] == 0 and blocks[-1][1] == n
+        sizes = [b - a for a, b in blocks]
+        assert all(s >= 0 for s in sizes)
+        assert sum(sizes) == n
+        assert max(sizes) - min(sizes) <= 1
+        for (a, b), (c, d) in zip(blocks, blocks[1:]):
+            assert b == c
+
+
+class TestHashProperties:
+    @given(st.lists(st.integers(0, 2**63 - 1), min_size=1, max_size=200, unique=True))
+    def test_no_collisions_on_distinct_inputs(self, xs):
+        h = hash_u64(np.array(xs, dtype=np.uint64))
+        assert np.unique(h).size == len(xs)
+
+    @given(st.integers(0, 2**63 - 1))
+    def test_unit_range(self, x):
+        u = float(hash_unit(x))
+        assert 0.0 <= u < 1.0
+
+
+class TestClockProperties:
+    @given(st.lists(st.floats(0.0, 1e6, allow_nan=False), max_size=50))
+    def test_monotonicity_under_advances_and_merges(self, steps):
+        clock = LogicalClock()
+        prev = 0.0
+        for i, s in enumerate(steps):
+            if i % 2 == 0:
+                clock.advance(s)
+            else:
+                clock.merge(s)
+            assert clock.now >= prev
+            prev = clock.now
+
+
+class TestNetworkProperties:
+    @given(
+        n1=st.integers(0, 100_000),
+        n2=st.integers(0, 100_000),
+        intra=st.booleans(),
+    )
+    def test_bundle_cost_superadditive_in_elements(self, n1, n2, intra):
+        """Shipping two batches separately is never cheaper than
+        coalescing them (bundling can only help)."""
+        net = NetworkModel(MachineConfig())
+        together = net.bundle(n1 + n2, intra)
+        separate = net.bundle(n1, intra) + net.bundle(n2, intra)
+        assert together.total_time <= separate.total_time + 1e-15
+        assert together.payload_bytes == separate.payload_bytes
+
+    @given(n=st.integers(1, 100_000), rounds=st.integers(1, 32))
+    def test_rounds_preserve_payload(self, n, rounds):
+        net = NetworkModel(MachineConfig())
+        one = net.gather_round_trip(n, False, rounds=1)
+        many = net.gather_round_trip(n, False, rounds=rounds)
+        assert many.payload_bytes == one.payload_bytes
+        assert many.wire_time >= one.wire_time - 1e-15
+
+    @given(streams=st.integers(0, 1024))
+    def test_contention_factor_at_least_one(self, streams):
+        net = NetworkModel(MachineConfig())
+        assert net.contention_factor(streams) >= 1.0
+
+    @given(p=st.integers(1, 4096), nbytes=st.integers(0, 10**7))
+    def test_collective_costs_nonnegative_and_monotone(self, p, nbytes):
+        net = NetworkModel(MachineConfig())
+        assert net.barrier_time(p) >= 0
+        assert net.allreduce_time(p, nbytes) >= net.reduce_time(p, nbytes)
+
+
+class TestRowSpecProperties:
+    @given(
+        n=st.integers(1, 200),
+        data=st.data(),
+    )
+    def test_normalize_matches_numpy_row_selection(self, n, data):
+        """The rows RowSpec reports are exactly the rows numpy indexing
+        touches, for every supported index form."""
+        arr = np.arange(n, dtype=np.int64)
+        form = data.draw(st.sampled_from(["int", "slice", "fancy", "bool"]))
+        if form == "int":
+            idx = data.draw(st.integers(-n, n - 1))
+            expected = np.atleast_1d(arr[idx])
+        elif form == "slice":
+            a = data.draw(st.integers(0, n))
+            b = data.draw(st.integers(0, n))
+            step = data.draw(st.integers(1, 5))
+            idx = slice(min(a, b), max(a, b), step)
+            expected = arr[idx]
+        elif form == "fancy":
+            idx = np.array(
+                data.draw(st.lists(st.integers(-n, n - 1), max_size=50)), dtype=np.int64
+            )
+            expected = arr[idx] if idx.size else np.empty(0, dtype=np.int64)
+        else:
+            mask = np.array(data.draw(st.lists(st.booleans(), min_size=n, max_size=n)))
+            idx = mask
+            expected = arr[mask]
+        spec = _normalize_rows(idx, n)
+        got = np.sort(np.unique(spec.materialize()))
+        want = np.sort(np.unique(expected % n))
+        assert (got == want).all()
+
+
+class TestPhaseCommitProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        writes=st.lists(
+            st.tuples(st.integers(0, 7), st.floats(-1e6, 1e6, allow_nan=False)),
+            min_size=1,
+            max_size=20,
+        ),
+        layout=st.sampled_from([(1, 4), (2, 2), (4, 1)]),
+    )
+    def test_commit_equals_rank_order_model(self, writes, layout):
+        """The committed state equals the sequential model 'apply all
+        writes in global-VP-rank order', for any node layout of the
+        same total VP count."""
+        n_nodes, per_node = layout
+        total_vps = 4
+        # Distribute the write list over VPs round-robin.
+        per_vp: list[list[tuple[int, float]]] = [[] for _ in range(total_vps)]
+        for i, w in enumerate(writes):
+            per_vp[i % total_vps].append(w)
+
+        @ppm_function
+        def writer(ctx, A):
+            yield ctx.global_phase
+            for slot, value in per_vp[ctx.global_rank]:
+                A[slot] = value
+
+        def main(ppm):
+            A = ppm.global_shared("A", 8)
+            ppm.do(per_node, writer, A)
+            return A.committed
+
+        cluster = Cluster(mkconfig(n_nodes=n_nodes, cores_per_node=2))
+        _, got = run_ppm(main, cluster)
+
+        expected = np.zeros(8)
+        for rank in range(total_vps):
+            for slot, value in per_vp[rank]:
+                expected[slot] = value
+        assert (got == expected).all()
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        values=st.lists(st.floats(-1e3, 1e3, allow_nan=False), min_size=1, max_size=12),
+    )
+    def test_scan_matches_cumsum(self, values):
+        k = len(values)
+
+        @ppm_function
+        def scanner(ctx, out):
+            yield ctx.global_phase
+            h = ctx.scan(values[ctx.global_rank], "sum")
+            yield ctx.global_phase
+            out[ctx.global_rank] = h.value
+
+        def main(ppm):
+            out = ppm.global_shared("out", k)
+            counts = [0] * ppm.node_count
+            for i in range(k):
+                counts[i % ppm.node_count] += 1
+            # contiguity of ranks: use per-node counts that preserve
+            # global rank order (block assignment).
+            blocks = split_range(k, ppm.node_count)
+            ppm.do([b - a for a, b in blocks], scanner, out)
+            return out.committed
+
+        _, got = run_ppm(main, Cluster(mkconfig(n_nodes=2, cores_per_node=2)))
+        assert np.allclose(got, np.cumsum(values))
+
+
+class TestFoldProperties:
+    @given(st.lists(st.floats(-1e6, 1e6, allow_nan=False), min_size=1, max_size=30))
+    def test_fold_sum_matches_sequential(self, xs):
+        assert fold(xs, "sum") == pytest.approx(sum(xs), rel=1e-12, abs=1e-9)
+
+    @given(st.lists(st.integers(-1000, 1000), min_size=1, max_size=30))
+    def test_fold_min_max(self, xs):
+        assert fold(xs, "min") == min(xs)
+        assert fold(xs, "max") == max(xs)
+
+
+class TestPayloadProperties:
+    nested = st.recursive(
+        st.one_of(
+            st.integers(-1e9, 1e9),
+            st.floats(allow_nan=False, allow_infinity=False),
+            st.text(max_size=20),
+            st.booleans(),
+            st.none(),
+        ),
+        lambda children: st.one_of(
+            st.lists(children, max_size=4),
+            st.dictionaries(st.text(max_size=5), children, max_size=4),
+            st.tuples(children, children),
+        ),
+        max_leaves=15,
+    )
+
+    @given(nested)
+    def test_copy_payload_preserves_equality(self, obj):
+        assert copy_payload(obj) == obj
+
+    @given(nested)
+    def test_payload_nbytes_nonnegative_and_stable(self, obj):
+        n = payload_nbytes(obj)
+        assert n >= 0
+        assert payload_nbytes(obj) == n
+
+
+class TestOctreeProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        n=st.integers(1, 200),
+        seed=st.integers(0, 2**31),
+        leaf=st.sampled_from([1, 4, 16]),
+    )
+    def test_invariants_on_random_clouds(self, n, seed, leaf):
+        rng = np.random.default_rng(seed)
+        pos = rng.standard_normal((n, 3))
+        mass = rng.uniform(0.1, 2.0, n)
+        tree = build_octree(pos, mass, leaf_size=leaf)
+        check_octree(tree, pos, mass)
+
+    @settings(max_examples=10, deadline=None)
+    @given(n=st.integers(2, 100), seed=st.integers(0, 2**31))
+    def test_theta_zero_equals_direct(self, n, seed):
+        rng = np.random.default_rng(seed)
+        pos = rng.standard_normal((n, 3))
+        mass = rng.uniform(0.5, 1.5, n)
+        a = bh_forces(pos, mass, theta=0.0)
+        b = direct_forces(pos, mass)
+        assert np.allclose(a, b, atol=1e-9)
+
+
+class TestAccumulateProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        ops=st.lists(
+            st.tuples(
+                st.integers(0, 5),
+                st.floats(-100, 100, allow_nan=False),
+                st.sampled_from(["add", "minimum", "maximum"]),
+            ),
+            min_size=1,
+            max_size=16,
+        ),
+        layout=st.sampled_from([(1, 4), (2, 2), (4, 1)]),
+    )
+    def test_accumulate_matches_rank_order_model(self, ops, layout):
+        """Accumulates commit exactly like the sequential model 'apply
+        each buffered ufunc.at in global-rank order', independent of
+        the node layout."""
+        n_nodes, per_node = layout
+        total_vps = 4
+        per_vp: list[list] = [[] for _ in range(total_vps)]
+        for i, op in enumerate(ops):
+            per_vp[i % total_vps].append(op)
+
+        @ppm_function
+        def acc(ctx, A):
+            yield ctx.global_phase
+            for slot, value, op in per_vp[ctx.global_rank]:
+                A.accumulate(np.array([slot]), np.array([value]), op=op)
+
+        def main(ppm):
+            A = ppm.global_shared("A", 6, fill=1.0)
+            ppm.do(per_node, acc, A)
+            return A.committed
+
+        cluster = Cluster(mkconfig(n_nodes=n_nodes, cores_per_node=2))
+        _, got = run_ppm(main, cluster)
+
+        expected = np.full(6, 1.0)
+        ufuncs = {"add": np.add, "minimum": np.minimum, "maximum": np.maximum}
+        for rank in range(total_vps):
+            for slot, value, op in per_vp[rank]:
+                ufuncs[op].at(expected, [slot], [value])
+        assert np.allclose(got, expected, atol=1e-12)
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        values=st.lists(st.floats(-10, 10, allow_nan=False), min_size=1, max_size=12),
+    )
+    def test_duplicate_row_accumulate_combines_all(self, values):
+        """One vectorised accumulate with duplicated rows combines all
+        duplicates (ufunc.at semantics), not last-wins."""
+
+        @ppm_function
+        def acc(ctx, A):
+            yield ctx.global_phase
+            rows = np.zeros(len(values), dtype=np.int64)
+            A.accumulate(rows, np.array(values), op="add")
+
+        def main(ppm):
+            A = ppm.global_shared("A", 1)
+            ppm.do([1, 0], acc, A)
+            return A.committed[0]
+
+        _, got = run_ppm(main, Cluster(mkconfig(n_nodes=2, cores_per_node=2)))
+        assert got == pytest.approx(sum(values), abs=1e-9)
+
+
+class TestApplicationEquivalenceProperties:
+    @settings(max_examples=6, deadline=None)
+    @given(nx=st.integers(3, 6), nodes=st.sampled_from([1, 2, 3]))
+    def test_cg_ppm_matches_serial_on_random_sizes(self, nx, nodes):
+        from repro.apps.cg import build_chimney_problem, ppm_cg_solve, serial_cg_solve
+        from repro.config import franklin
+
+        problem = build_chimney_problem(nx)
+        ref = serial_cg_solve(problem.A, problem.b, tol=1e-9)
+        res, _ = ppm_cg_solve(
+            problem, Cluster(franklin(n_nodes=nodes)), tol=1e-9
+        )
+        assert np.allclose(res.x, ref.x, atol=1e-6)
+
+    @settings(max_examples=6, deadline=None)
+    @given(
+        n=st.integers(16, 200),
+        degree=st.integers(1, 5),
+        seed=st.integers(0, 1000),
+        source=st.integers(0, 15),
+    )
+    def test_bfs_ppm_matches_serial_on_random_graphs(self, n, degree, seed, source):
+        from repro.apps.graph import hashed_graph, ppm_bfs, serial_bfs
+        from repro.config import franklin
+
+        graph = hashed_graph(n, degree=degree, seed=seed)
+        ref = serial_bfs(graph, source)
+        dist, _ = ppm_bfs(graph, source, Cluster(franklin(n_nodes=2)))
+        assert (dist == ref).all()
+
+    @settings(max_examples=6, deadline=None)
+    @given(levels=st.integers(2, 5), nodes=st.sampled_from([1, 2, 3]))
+    def test_multigrid_ppm_bitwise_on_random_hierarchies(self, levels, nodes):
+        from repro.apps.multigrid import build_mg_problem, ppm_mg_solve, serial_mg_solve
+        from repro.config import franklin
+
+        problem = build_mg_problem(levels=levels)
+        ref, _ = serial_mg_solve(problem, cycles=2)
+        u, _ = ppm_mg_solve(problem, Cluster(franklin(n_nodes=nodes)), cycles=2)
+        assert np.abs(u - ref).max() == 0.0
