@@ -1,0 +1,24 @@
+"""Diagnostics overhead: the phase-conflict sanitizer's host-time cost.
+
+Not a paper figure — this guards the analysis subsystem's contract:
+``sanitize=None`` (the default) must stay effectively free, and
+``sanitize="warn"`` must stay cheap enough to leave on during
+development runs.  The sweep also doubles as an end-to-end regression
+that the shipped CG app is conflict-free under the sanitizer.
+"""
+
+from __future__ import annotations
+
+from repro.bench.sanitizer_overhead import sanitizer_overhead
+
+
+def test_sanitizer_overhead(benchmark, record_sweep):
+    result = benchmark.pedantic(
+        lambda: record_sweep(sanitizer_overhead), rounds=1, iterations=1
+    )
+    for findings in result.series("findings"):
+        assert findings == 0, "shipped CG app must be conflict-free"
+    for pct in result.series("overhead_pct"):
+        # warn mode replays footprints at every commit; anything under
+        # 2x is acceptable for an opt-in debugging tool.
+        assert pct < 100.0, "sanitizer overhead exceeded 2x"

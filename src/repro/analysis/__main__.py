@@ -1,0 +1,91 @@
+"""Command-line entry point for the static PPM linter.
+
+Usage::
+
+    python -m repro.analysis [--strict] [--json] [--list-rules] PATH...
+
+Exit status: 0 when no error-severity finding was produced (warnings
+alone do not fail the run unless ``--strict``), 1 when findings fail
+the run, 2 on usage errors such as a missing path.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.analysis.lint import lint_paths
+from repro.analysis.rules import ALL_RULES
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Static lint pass for PPM programs (rules PPM101-PPM105).",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        metavar="PATH",
+        help="Python files or directories to lint (directories recurse).",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="treat warnings as failures (nonzero exit on any finding)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        dest="as_json",
+        help="emit findings as a JSON array instead of text lines",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the registered rules and exit",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in ALL_RULES:
+            print(f"{rule.rule_id}  [{rule.severity:7s}]  {rule.summary}")
+        return 0
+
+    if not args.paths:
+        parser.print_usage(sys.stderr)
+        print("error: no paths given (or use --list-rules)", file=sys.stderr)
+        return 2
+
+    try:
+        findings = lint_paths(args.paths)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.as_json:
+        print(json.dumps([d.to_dict() for d in findings], indent=2))
+    else:
+        for diag in findings:
+            print(diag.format())
+
+    n_err = sum(1 for d in findings if d.severity == "error")
+    n_warn = sum(1 for d in findings if d.severity == "warning")
+    if not args.as_json:
+        if findings:
+            print(f"{n_err} error(s), {n_warn} warning(s)")
+        else:
+            print("clean: no findings")
+
+    failed = n_err > 0 or (args.strict and n_warn > 0)
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,112 @@
+"""Structured findings shared by both analysis layers.
+
+The dynamic sanitizer and the static linter report through one
+:class:`Diagnostic` type so drivers, tests and the CLI can treat
+findings uniformly.  Every finding carries a stable rule id:
+
+=========  ============================================================
+Rule id    Meaning
+=========  ============================================================
+PPM101     shared-variable access in the VP-private prologue (lint)
+PPM102     global-shared write inside a node phase (lint)
+PPM103     plain-write read-modify-write that should be ``accumulate``
+PPM104     read after write of the same shared variable in one phase
+           (the read observes the phase-start snapshot, rule R1)
+PPM105     ``ppm.do`` VP count is a hard-coded literal, not derived
+           from problem size or cluster geometry (lint, warn-only)
+PPM201     rank-order-dependent conflict: distinct VPs wrote different
+           values (or mixed accumulate ops) to one element (sanitizer)
+PPM202     mixed plain write + accumulate on one element from distinct
+           VPs (sanitizer)
+PPM203     benign overlap: distinct VPs plain-wrote identical values
+           to one element (sanitizer, warning)
+=========  ============================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Severity levels, most severe first.
+SEVERITIES = ("error", "warning", "note")
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding of the sanitizer or the linter."""
+
+    tool: str
+    """``"sanitizer"`` or ``"lint"``."""
+
+    rule: str
+    """Stable rule id (``PPM1xx`` lint, ``PPM2xx`` sanitizer)."""
+
+    severity: str
+    """``"error"``, ``"warning"`` or ``"note"``."""
+
+    message: str
+    """Human-readable description of the finding."""
+
+    # -- static (lint) location ---------------------------------------
+    path: str | None = None
+    line: int | None = None
+
+    # -- dynamic (sanitizer) context ----------------------------------
+    phase_index: int | None = None
+    phase_kind: str | None = None
+    variable: str | None = None
+    """Name of the shared variable involved."""
+    rows: tuple[int, ...] = field(default_factory=tuple)
+    """Sample of conflicting axis-0 rows (capped, sorted)."""
+    ranks: tuple[int, ...] = field(default_factory=tuple)
+    """Global VP ranks involved in the conflict (capped, sorted)."""
+
+    def __post_init__(self) -> None:
+        if self.severity not in SEVERITIES:
+            raise ValueError(
+                f"severity must be one of {SEVERITIES}, got {self.severity!r}"
+            )
+
+    def format(self) -> str:
+        """One-line rendering, ``path:line:`` prefixed for lint
+        findings and phase/variable-prefixed for sanitizer ones."""
+        if self.tool == "lint":
+            loc = f"{self.path or '<source>'}:{self.line or 0}: "
+            return f"{loc}{self.rule} [{self.severity}] {self.message}"
+        where = []
+        if self.phase_index is not None:
+            where.append(f"phase {self.phase_index} ({self.phase_kind})")
+        if self.variable is not None:
+            where.append(f"var {self.variable!r}")
+        if self.rows:
+            where.append(f"rows {list(self.rows)}")
+        if self.ranks:
+            where.append(f"VP ranks {list(self.ranks)}")
+        ctx = "; ".join(where)
+        return f"{self.rule} [{self.severity}] {self.message}" + (
+            f" ({ctx})" if ctx else ""
+        )
+
+    def __str__(self) -> str:
+        return self.format()
+
+    def to_dict(self) -> dict:
+        """JSON-ready representation (for the CLI's ``--json``)."""
+        out = {
+            "tool": self.tool,
+            "rule": self.rule,
+            "severity": self.severity,
+            "message": self.message,
+        }
+        if self.tool == "lint":
+            out["path"] = self.path
+            out["line"] = self.line
+        else:
+            out.update(
+                phase_index=self.phase_index,
+                phase_kind=self.phase_kind,
+                variable=self.variable,
+                rows=list(self.rows),
+                ranks=list(self.ranks),
+            )
+        return out

@@ -1,0 +1,22 @@
+"""Registry of static lint rules.
+
+Each rule module exposes a singleton ``RULE``; this package collects
+them in ``ALL_RULES`` (the default rule set run by
+:func:`repro.analysis.lint.lint_source`) and ``RULES_BY_ID`` for
+lookup/filtering.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.rules.base import LintRule
+from repro.analysis.rules.ppm101_prologue_access import RULE as PPM101
+from repro.analysis.rules.ppm102_node_phase_global_write import RULE as PPM102
+from repro.analysis.rules.ppm103_plain_write_reduction import RULE as PPM103
+from repro.analysis.rules.ppm104_stale_read_after_write import RULE as PPM104
+from repro.analysis.rules.ppm105_literal_vp_count import RULE as PPM105
+
+ALL_RULES: list[LintRule] = [PPM101, PPM102, PPM103, PPM104, PPM105]
+
+RULES_BY_ID: dict[str, LintRule] = {rule.rule_id: rule for rule in ALL_RULES}
+
+__all__ = ["ALL_RULES", "RULES_BY_ID", "LintRule"]

@@ -1,0 +1,41 @@
+"""Common machinery for lint rules.
+
+A rule is an object with a stable ``rule_id``, a default ``severity``
+and a ``check(model)`` method yielding
+:class:`~repro.analysis.diagnostics.Diagnostic` findings for one
+:class:`~repro.analysis.lint.ModuleModel`.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable
+
+from repro.analysis.diagnostics import Diagnostic
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.analysis.lint import ModuleModel
+
+
+class LintRule:
+    """Base class: subclasses set the class attributes and implement
+    :meth:`check`."""
+
+    rule_id: str = "PPM000"
+    severity: str = "error"
+    summary: str = ""
+
+    def check(self, model: "ModuleModel") -> Iterable[Diagnostic]:  # pragma: no cover
+        raise NotImplementedError
+
+    def diag(self, model: "ModuleModel", lineno: int, message: str) -> Diagnostic:
+        return Diagnostic(
+            tool="lint",
+            rule=self.rule_id,
+            severity=self.severity,
+            message=message,
+            path=model.path,
+            line=lineno,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<LintRule {self.rule_id}: {self.summary}>"

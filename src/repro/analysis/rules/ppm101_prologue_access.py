@@ -1,0 +1,36 @@
+"""PPM101 — shared-variable access in the VP-private prologue.
+
+Code before a PPM function's first ``yield`` runs once per VP with no
+phase open; the runtime rejects shared accesses there at execution time
+(``SharedAccessError``).  This rule catches the mistake statically:
+any subscript read/write or ``accumulate`` on a shared parameter that
+lies before the first phase declaration.  Metadata calls
+(``X.local_range(...)``, ``X.shape``) are not accesses and are legal.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.rules.base import LintRule
+
+
+class PrologueAccessRule(LintRule):
+    rule_id = "PPM101"
+    severity = "error"
+    summary = "shared access in the VP-private prologue"
+
+    def check(self, model):
+        for fn in model.functions:
+            for acc in fn.accesses:
+                if fn.phase_of(acc.lineno) is None:
+                    yield self.diag(
+                        model,
+                        acc.lineno,
+                        f"shared variable {acc.name!r} is accessed in the "
+                        f"VP-private prologue of {fn.name!r} (before the "
+                        "first phase declaration); shared access is only "
+                        "legal inside a phase body and raises "
+                        "SharedAccessError at run time",
+                    )
+
+
+RULE = PrologueAccessRule()

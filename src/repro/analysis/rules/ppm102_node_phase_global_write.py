@@ -1,0 +1,42 @@
+"""PPM102 — global-shared write inside a node phase.
+
+Rule R5 (docs/SEMANTICS.md): ``GlobalShared`` may be read anywhere but
+written only in *global* phases — node phases commit per node with no
+cluster agreement, so a global write there would race across nodes.
+The runtime raises ``SharedAccessError`` at execution time; this rule
+reports the same violation statically, for phases whose kind is
+statically known.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.rules.base import LintRule
+
+
+class NodePhaseGlobalWriteRule(LintRule):
+    rule_id = "PPM102"
+    severity = "error"
+    summary = "global-shared write inside a node phase"
+
+    def check(self, model):
+        for fn in model.functions:
+            for acc in fn.accesses:
+                if acc.kind not in ("write", "accumulate"):
+                    continue
+                var = fn.shared_params.get(acc.name)
+                if var is None or var.kind != "global":
+                    continue
+                phase = fn.phase_of(acc.lineno)
+                if phase is not None and phase.kind == "node":
+                    verb = "accumulated" if acc.kind == "accumulate" else "written"
+                    yield self.diag(
+                        model,
+                        acc.lineno,
+                        f"global-shared variable {acc.name!r} is {verb} "
+                        f"inside a node phase of {fn.name!r}; global-shared "
+                        "writes are only legal in global phases (R5) and "
+                        "raise SharedAccessError at run time",
+                    )
+
+
+RULE = NodePhaseGlobalWriteRule()

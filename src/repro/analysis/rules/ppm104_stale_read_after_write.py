@@ -1,0 +1,73 @@
+"""PPM104 — read after write of the same shared variable in one phase.
+
+Rule R1 (snapshot reads): inside a phase, *every* read returns the
+value the variable had when the phase opened — including reads of
+elements the same VP wrote moments earlier.  Code that writes a shared
+variable and then reads it later in the same phase almost always
+expects the new value and silently gets the stale snapshot; the fix is
+to keep the written value in a local, or to split the phase so the
+write commits first.
+
+Two guards keep the rule quiet on correct code:
+
+* reads in the *same statement* as the write (e.g. the RHS feeding the
+  write target) are not flagged — evaluation order puts them before
+  the write;
+* the write must lie on the read's control path: a write whose branch
+  chain is not a prefix of the read's (e.g. the two sit in different
+  arms of an ``if op == ...`` dispatch) may never execute together
+  with the read, so it is ignored.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.rules.base import LintRule
+
+
+def _on_path(write_branch: tuple, read_branch: tuple) -> bool:
+    """True when the write's branch chain is a prefix of the read's,
+    i.e. whenever the read executes the write has executed too."""
+    return write_branch == read_branch[: len(write_branch)]
+
+
+class StaleReadAfterWriteRule(LintRule):
+    rule_id = "PPM104"
+    severity = "error"
+    summary = "read after write in the same phase sees the old snapshot"
+
+    def check(self, model):
+        for fn in model.functions:
+            # Write statements per (phase, variable).
+            writes: dict[tuple[int, str], list] = {}
+            for acc in fn.accesses:
+                if acc.kind not in ("write", "accumulate"):
+                    continue
+                phase = fn.phase_of(acc.lineno)
+                if phase is None:
+                    continue
+                writes.setdefault((phase.lineno, acc.name), []).append(acc)
+            if not writes:
+                continue
+            for acc in fn.accesses:
+                if acc.kind != "read":
+                    continue
+                phase = fn.phase_of(acc.lineno)
+                if phase is None:
+                    continue
+                stale = any(
+                    w.stmt_id < acc.stmt_id and _on_path(w.branch, acc.branch)
+                    for w in writes.get((phase.lineno, acc.name), ())
+                )
+                if stale:
+                    yield self.diag(
+                        model,
+                        acc.lineno,
+                        f"shared variable {acc.name!r} is read after being "
+                        "written earlier in the same phase; the read returns "
+                        "the phase-start snapshot (R1), not the value just "
+                        "written — keep the new value in a local, or commit "
+                        "it by splitting the phase",
+                    )
+
+
+RULE = StaleReadAfterWriteRule()

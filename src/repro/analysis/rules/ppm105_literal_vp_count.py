@@ -1,0 +1,49 @@
+"""PPM105 — ``ppm.do`` launch with a hard-coded VP count (warn-only).
+
+The PPM programming model sizes a computation by choosing K, the number
+of virtual processors, from the *cluster geometry* (nodes × cores, or a
+multiple thereof) so the same program runs unchanged on any machine.
+A VP count written as an inline integer literal bakes one machine's
+shape into the program; moving to a different cluster silently under-
+or over-subscribes it.
+
+Only inline literals are flagged.  A named module-level constant
+(``K = 16`` then ``ppm.do(K, ...)``) expresses a deliberate choice and
+is left alone — the paper's own listings use that form.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.rules.base import LintRule
+
+
+def _literal_int_expr(expr: ast.expr) -> bool:
+    if isinstance(expr, ast.Constant) and isinstance(expr.value, int):
+        return True
+    if isinstance(expr, (ast.List, ast.Tuple)) and expr.elts:
+        return all(_literal_int_expr(e) for e in expr.elts)
+    return False
+
+
+class LiteralVpCountRule(LintRule):
+    rule_id = "PPM105"
+    severity = "warning"
+    summary = "ppm.do launch with an inline literal VP count"
+
+    def check(self, model):
+        for call in model.do_calls:
+            if _literal_int_expr(call.k_expr):
+                shown = ast.unparse(call.k_expr)
+                yield self.diag(
+                    model,
+                    call.lineno,
+                    f"VP count {shown} is an inline literal; derive K from "
+                    "the cluster geometry (e.g. cluster.total_cores() or a "
+                    "multiple of it) so the program stays "
+                    "machine-independent",
+                )
+
+
+RULE = LiteralVpCountRule()

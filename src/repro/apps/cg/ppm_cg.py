@@ -84,7 +84,8 @@ def _cg_kernel(ctx, A, xs, rs, ps, qs, stats, b_norm, max_iters, tol):
             continue
         beta = rz_new / rz
         rz = rz_new
-        ps[lo:hi] = rs[lo:hi] + beta * ps[lo:hi]
+        p_new = rs[lo:hi] + beta * ps[lo:hi]
+        ps[lo:hi] = p_new
         ctx.work(2 * m)
 
 

@@ -73,7 +73,7 @@ def _mg_kernel(ctx, problem, U, F, R, cycles, nu1, nu2):
             elif op == "prolong":
                 a, b = lo // 2, (hi - 1) // 2 + 2
                 corr = prolong_window(U[l + 1][a:b], lo, hi - lo)
-                U[l][lo:hi] = U[l][lo:hi] + corr
+                U[l].accumulate(np.arange(lo, hi), corr)
             ctx.work(op_flops(op, hi - lo))
 
 

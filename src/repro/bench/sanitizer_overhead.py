@@ -1,0 +1,89 @@
+"""Wall-clock cost of the phase-conflict sanitizer.
+
+The sanitizer is opt-in precisely because it pays real host time:
+every buffered write additionally records a
+:class:`~repro.core.shared.WriteEvent`, and each phase commit replays
+the events of any overlapping writers onto scratch snapshots.  This
+sweep quantifies that price on the CG solver (the most phase-intensive
+app: four global phases per iteration) — with the sanitizer *off* the
+instrumentation must be a single ``is not None`` test per write.
+
+Columns: host seconds with the sanitizer off and in ``warn`` mode,
+the relative overhead, and the number of findings (the shipped apps
+are conflict-free, so this column doubles as a regression check).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Sequence
+
+from repro.apps.cg import build_chimney_problem, ppm_cg_solve
+from repro.bench.harness import SweepResult, run_sweep
+from repro.config import franklin
+from repro.machine import Cluster
+
+import repro.apps.cg.ppm_cg as _ppm_cg_module
+
+
+def _timed_solve(problem, *, sanitize, max_iters):
+    """Host-time one PPM CG solve; returns (seconds, diagnostics)."""
+    diagnostics = []
+    orig = _ppm_cg_module.run_ppm
+
+    def wrapped(main, cluster, *args, **kwargs):
+        kwargs["sanitize"] = sanitize
+        ppm, result = orig(main, cluster, *args, **kwargs)
+        diagnostics.extend(ppm.diagnostics)
+        return ppm, result
+
+    _ppm_cg_module.run_ppm = wrapped
+    try:
+        t0 = time.perf_counter()
+        ppm_cg_solve(problem, Cluster(franklin(n_nodes=2)), max_iters=max_iters)
+        elapsed = time.perf_counter() - t0
+    finally:
+        _ppm_cg_module.run_ppm = orig
+    return elapsed, diagnostics
+
+
+def sanitizer_overhead(
+    sizes: Sequence[int] = (4, 6, 8),
+    *,
+    max_iters: int = 40,
+    repeats: int = 3,
+) -> SweepResult:
+    """Sweep CG problem sizes, timing each solve with the sanitizer off
+    and in ``warn`` mode (best of ``repeats`` runs each)."""
+
+    def runner(nx: int) -> dict:
+        problem = build_chimney_problem(nx)
+        off = min(
+            _timed_solve(problem, sanitize=None, max_iters=max_iters)[0]
+            for _ in range(repeats)
+        )
+        warn_s, diags = min(
+            (
+                _timed_solve(problem, sanitize="warn", max_iters=max_iters)
+                for _ in range(repeats)
+            ),
+            key=lambda timed: timed[0],
+        )
+        return {
+            "off_s": off,
+            "warn_s": warn_s,
+            "overhead_pct": 100.0 * (warn_s - off) / off,
+            "findings": len(diags),
+        }
+
+    return run_sweep(
+        "sanitizer_overhead",
+        "nx",
+        list(sizes),
+        runner,
+        notes=(
+            f"PPM CG (nx*nx*2nx chimney), 2 Franklin nodes, {max_iters} "
+            f"iterations; host seconds, best of {repeats}; sanitize=warn "
+            "vs off"
+        ),
+    )

@@ -25,7 +25,10 @@ at the end of the phase; an implicit barrier ends every phase.
 
 from repro.core.constructs import GLOBAL_PHASE, NODE_PHASE, PhaseDecl, ppm_function
 from repro.core.errors import (
+    LintError,
+    PhaseConflictError,
     PhaseUsageError,
+    PpmDiagnosticError,
     PpmError,
     SharedAccessError,
     VpProgramError,
@@ -37,10 +40,13 @@ from repro.core.vp import VpContext
 __all__ = [
     "GLOBAL_PHASE",
     "GlobalShared",
+    "LintError",
     "NODE_PHASE",
     "NodeShared",
+    "PhaseConflictError",
     "PhaseDecl",
     "PhaseUsageError",
+    "PpmDiagnosticError",
     "PpmError",
     "PpmProgram",
     "SharedAccessError",

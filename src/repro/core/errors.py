@@ -33,3 +33,25 @@ class VpProgramError(PpmError):
 
 class CollectiveUsageError(PpmError):
     """A phase collective handle was read before its phase committed."""
+
+
+class PpmDiagnosticError(PpmError):
+    """Base class of errors raised by the diagnostics tooling
+    (:mod:`repro.analysis`); carries the structured findings."""
+
+    def __init__(self, message: str, diagnostics: tuple = ()) -> None:
+        super().__init__(message)
+        #: The :class:`~repro.analysis.diagnostics.Diagnostic` findings
+        #: behind this error, in detection order.
+        self.diagnostics = tuple(diagnostics)
+
+
+class PhaseConflictError(PpmDiagnosticError):
+    """The phase-conflict sanitizer (strict mode) found a hazardous
+    write-write or write-accumulate overlap between distinct VPs; the
+    phase aborts before its commit, so no write of it is visible."""
+
+
+class LintError(PpmDiagnosticError):
+    """The static PPM linter was asked to treat its findings as fatal
+    and at least one error-severity diagnostic was reported."""

@@ -14,7 +14,7 @@ from collections import defaultdict
 from typing import TYPE_CHECKING, Callable
 
 from repro.core.collectives import CollectiveSlot
-from repro.core.shared import RowSpec
+from repro.core.shared import RowSpec, WriteEvent
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.shared import GlobalShared, NodeShared
@@ -45,6 +45,8 @@ class PhaseRecorder:
         # Buffered write applications: (global_rank, seq, apply_fn).
         self.write_ops: list[tuple[int, int, Callable[[], None]]] = []
         self._seq = 0
+        # Sanitizer write events (empty unless the sanitizer is on).
+        self.write_events: list[WriteEvent] = []
         # node id -> elements written to node-shared instances there.
         self.node_write_elems: dict[int, int] = defaultdict(int)
         # node id -> core id -> accumulated VP cpu seconds.
@@ -75,10 +77,15 @@ class PhaseRecorder:
         n_elem: int,
         global_rank: int,
         apply_fn: Callable[[], None],
+        event: WriteEvent | None = None,
     ) -> None:
         self.global_writes[node_id][shared].append(rows)
         self.global_write_elems[node_id][shared] += n_elem
-        self.write_ops.append((global_rank, self.next_seq(), apply_fn))
+        seq = self.next_seq()
+        self.write_ops.append((global_rank, seq, apply_fn))
+        if event is not None:
+            event.seq = seq
+            self.write_events.append(event)
         self.write_elems += n_elem
 
     def add_node_read(self, n_elem: int) -> None:
@@ -86,10 +93,19 @@ class PhaseRecorder:
         self.read_elems += n_elem
 
     def add_node_write(
-        self, node_id: int, n_elem: int, global_rank: int, apply_fn: Callable[[], None]
+        self,
+        node_id: int,
+        n_elem: int,
+        global_rank: int,
+        apply_fn: Callable[[], None],
+        event: WriteEvent | None = None,
     ) -> None:
         self.node_write_elems[node_id] += n_elem
-        self.write_ops.append((global_rank, self.next_seq(), apply_fn))
+        seq = self.next_seq()
+        self.write_ops.append((global_rank, seq, apply_fn))
+        if event is not None:
+            event.seq = seq
+            self.write_events.append(event)
         self.write_elems += n_elem
 
     def add_vp_cost(self, node_id: int, core_id: int, cost: float) -> None:

@@ -55,8 +55,14 @@ class PpmProgram:
     environment: shared-variable declaration, ``PPM_do``, and the
     system variables."""
 
-    def __init__(self, cluster: Cluster, *, vp_executor: str = "sequential") -> None:
-        self.runtime = PpmRuntime(cluster, vp_executor=vp_executor)
+    def __init__(
+        self,
+        cluster: Cluster,
+        *,
+        vp_executor: str = "sequential",
+        sanitize: str | bool | None = None,
+    ) -> None:
+        self.runtime = PpmRuntime(cluster, vp_executor=vp_executor, sanitize=sanitize)
         self.cluster = cluster
 
     # -- system variables ----------------------------------------------
@@ -130,6 +136,13 @@ class PpmProgram:
         (:class:`~repro.core.runtime.PhaseProfile` entries)."""
         return self.runtime.profile
 
+    @property
+    def diagnostics(self) -> list:
+        """Phase-conflict sanitizer findings
+        (:class:`~repro.analysis.diagnostics.Diagnostic` entries;
+        empty unless the program was built with ``sanitize=...``)."""
+        return self.runtime.diagnostics
+
     def reset_clocks(self) -> None:
         """Zero all clocks (to exclude setup from a measurement)."""
         self.cluster.reset_clocks()
@@ -152,6 +165,7 @@ def run_ppm(
     cluster: Cluster,
     *args: object,
     vp_executor: str = "sequential",
+    sanitize: str | bool | None = None,
     **kwargs: object,
 ):
     """Run a PPM application.
@@ -166,6 +180,12 @@ def run_ppm(
         ``"sequential"`` (default) or ``"threads"`` — run VP phase
         bodies as real threads (identical results and simulated
         times; see :class:`~repro.core.runtime.PpmRuntime`).
+    sanitize:
+        ``None`` (default, off), ``"warn"``/``True`` (record
+        phase-conflict diagnostics on ``ppm.diagnostics``) or
+        ``"strict"`` (raise
+        :class:`~repro.core.errors.PhaseConflictError` before the
+        offending phase commits).
 
     Returns
     -------
@@ -173,6 +193,6 @@ def run_ppm(
         The program object (for ``elapsed``, ``trace``, shared
         registry) and ``main``'s return value.
     """
-    ppm = PpmProgram(cluster, vp_executor=vp_executor)
+    ppm = PpmProgram(cluster, vp_executor=vp_executor, sanitize=sanitize)
     result = main(ppm, *args, **kwargs)
     return ppm, result

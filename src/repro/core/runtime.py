@@ -102,13 +102,30 @@ class PpmRuntime:
     rank order.
     """
 
-    def __init__(self, cluster: Cluster, *, vp_executor: str = "sequential") -> None:
+    def __init__(
+        self,
+        cluster: Cluster,
+        *,
+        vp_executor: str = "sequential",
+        sanitize: str | bool | None = None,
+    ) -> None:
         if vp_executor not in ("sequential", "threads"):
             raise ValueError(
                 f"vp_executor must be 'sequential' or 'threads', got {vp_executor!r}"
             )
         self.cluster = cluster
         self.vp_executor = vp_executor
+        #: Phase-conflict sanitizer (``repro.analysis``), or None.  When
+        #: set, every buffered write also records a
+        #: :class:`~repro.core.shared.WriteEvent` and each commit is
+        #: checked for cross-VP conflicts before writes apply.
+        self.sanitizer = None
+        if sanitize not in (None, False):
+            if sanitize is True:
+                sanitize = "warn"
+            from repro.analysis.sanitizer import PhaseSanitizer
+
+            self.sanitizer = PhaseSanitizer(mode=sanitize)
         self.phase: PhaseRecorder | None = None
         self.shared_registry: dict[str, object] = {}
         self.stats_global_phases = 0
@@ -133,6 +150,11 @@ class PpmRuntime:
     def config(self) -> MachineConfig:
         return self.cluster.config
 
+    @property
+    def diagnostics(self) -> list:
+        """Sanitizer findings so far (empty when sanitizing is off)."""
+        return [] if self.sanitizer is None else list(self.sanitizer.diagnostics)
+
     # ==================================================================
     # Recording API (called by shared-variable handles and VpContext)
     # ==================================================================
@@ -153,7 +175,12 @@ class PpmRuntime:
             phase.add_global_read(ctx.node_id, shared, rows, n_elem)
 
     def record_global_write(
-        self, shared: GlobalShared, rows: RowSpec, n_elem: int, apply_fn: Callable[[], None]
+        self,
+        shared: GlobalShared,
+        rows: RowSpec,
+        n_elem: int,
+        apply_fn: Callable[[], None],
+        event=None,
     ) -> None:
         phase = self._require_phase()
         if phase.kind == "node":
@@ -166,7 +193,7 @@ class PpmRuntime:
         ctx._cost += cfg.ppm_access_call_overhead + n_elem * cfg.ppm_access_per_element
         with self._record_lock:
             phase.add_global_write(
-                ctx.node_id, shared, rows, n_elem, ctx.global_rank, apply_fn
+                ctx.node_id, shared, rows, n_elem, ctx.global_rank, apply_fn, event
             )
 
     def record_node_read(self, shared, n_elem: int) -> None:
@@ -177,13 +204,15 @@ class PpmRuntime:
         with self._record_lock:
             phase.add_node_read(n_elem)
 
-    def record_node_write(self, shared, n_elem: int, apply_fn: Callable[[], None]) -> None:
+    def record_node_write(
+        self, shared, n_elem: int, apply_fn: Callable[[], None], event=None
+    ) -> None:
         phase = self._require_phase()
         ctx = self.cursor
         cfg = self.config
         ctx._cost += cfg.ppm_access_call_overhead + n_elem * cfg.ppm_node_access_per_element
         with self._record_lock:
-            phase.add_node_write(ctx.node_id, n_elem, ctx.global_rank, apply_fn)
+            phase.add_node_write(ctx.node_id, n_elem, ctx.global_rank, apply_fn, event)
 
     def record_collective(self, ctx: VpContext, kind: str, value: object, op) -> CollectiveHandle:
         phase = self._require_phase()
@@ -473,7 +502,13 @@ class PpmRuntime:
         body_vps = [vp for n in active_nodes for vp in vps_by_node[n]]
         self._execute_phase_bodies(recorder, body_vps)
 
-        # Commit: writes in rank order, then collectives.
+        # Commit: conflict check (strict mode aborts before any write
+        # is visible), then writes in rank order, then collectives.
+        if self.sanitizer is not None:
+            self.sanitizer.check_phase(
+                recorder,
+                phase_index=self.stats_global_phases + self.stats_node_phases,
+            )
         recorder.apply_writes()
         n_contrib = recorder.resolve_collectives()
 
@@ -567,6 +602,11 @@ class PpmRuntime:
         recorder = PhaseRecorder("node", latency_rounds)
         self._execute_phase_bodies(recorder, node_vps)
 
+        if self.sanitizer is not None:
+            self.sanitizer.check_phase(
+                recorder,
+                phase_index=self.stats_global_phases + self.stats_node_phases,
+            )
         recorder.apply_writes()
         recorder.resolve_collectives()
 

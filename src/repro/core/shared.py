@@ -70,6 +70,120 @@ class RowSpec:
         return np.arange(self.start, self.stop, dtype=np.int64)
 
 
+class WriteEvent:
+    """Sanitizer-grade record of one buffered write or accumulate.
+
+    Only created when the runtime's phase-conflict sanitizer is
+    enabled: it carries enough to *replay* the operation onto a scratch
+    array (``idx``/``value``/``op``), so the sanitizer can classify
+    conflicting footprints without touching the committed store.
+    ``instance`` is the node id for node-shared targets, ``None`` for
+    global-shared ones.
+    """
+
+    __slots__ = ("shared", "instance", "kind", "op", "idx", "value", "rows", "rank", "seq")
+
+    def __init__(
+        self,
+        *,
+        shared: object,
+        instance: int | None,
+        kind: str,
+        op: str | None,
+        idx: object,
+        value: object,
+        rows: RowSpec,
+        rank: int,
+    ) -> None:
+        self.shared = shared
+        self.instance = instance
+        self.kind = kind  # "write" | "accumulate"
+        self.op = op  # accumulate ufunc name, None for plain writes
+        self.idx = idx
+        self.value = value
+        self.rows = rows
+        self.rank = rank
+        self.seq = 0  # program-order tiebreak, set by the recorder
+
+    def replay(self, target: np.ndarray) -> None:
+        """Apply this operation to ``target`` (a scratch ndarray)."""
+        if self.kind == "write":
+            target[self.idx] = self.value
+        else:
+            ACCUMULATE_UFUNCS[self.op].at(target, self.idx, self.value)
+
+    def footprint(self, shape: tuple[int, ...]) -> np.ndarray:
+        """Boolean mask (of ``shape``) of the elements this op touches."""
+        mask = np.zeros(shape, dtype=bool)
+        mask[self.idx] = True
+        return mask
+
+
+def _index_result_size(idx: tuple, shape: tuple[int, ...]) -> int:
+    """Number of elements selected by ``data[idx]``, computed from the
+    index and array shapes alone (no indexing, no copy).
+
+    Follows numpy's rules: basic parts (ints, slices, Ellipsis,
+    newaxis) contribute their per-axis lengths; all advanced parts
+    (integer / boolean arrays) broadcast together and contribute the
+    broadcast size once.  Raises for index forms it does not model
+    (callers fall back to an exact materialising probe).
+    """
+    ndim = len(shape)
+
+    def consumes(entry: object) -> int:
+        if entry is None:
+            return 0
+        if isinstance(entry, np.ndarray) and entry.dtype == bool:
+            return entry.ndim
+        return 1
+
+    # Expand a single Ellipsis into full slices.
+    expanded: list[object] = []
+    n_consumed = sum(consumes(e) for e in idx if e is not Ellipsis)
+    for entry in idx:
+        if entry is Ellipsis:
+            expanded.extend([slice(None)] * (ndim - n_consumed))
+        else:
+            expanded.append(entry)
+
+    basic = 1
+    adv_shapes: list[tuple[int, ...]] = []
+    axis = 0
+    for entry in expanded:
+        if entry is None:
+            continue  # newaxis: result axis of length 1
+        if isinstance(entry, (int, np.integer)):
+            axis += 1
+            continue
+        if isinstance(entry, slice):
+            basic *= len(range(*entry.indices(shape[axis])))
+            axis += 1
+            continue
+        arr = entry if isinstance(entry, np.ndarray) else np.asarray(entry)
+        if arr.dtype == bool:
+            if arr.shape != tuple(shape[axis : axis + arr.ndim]):
+                raise IndexError(
+                    f"boolean index shape {arr.shape} does not match axes "
+                    f"{shape[axis:axis + arr.ndim]}"
+                )
+            adv_shapes.append((int(np.count_nonzero(arr)),))
+            axis += arr.ndim
+        elif np.issubdtype(arr.dtype, np.integer):
+            adv_shapes.append(arr.shape)
+            axis += 1
+        else:
+            raise TypeError(f"unsupported index entry {entry!r}")
+    if axis > ndim:
+        raise IndexError(f"too many indices for shape {shape}")
+    # Unindexed trailing axes pass through whole.
+    for ax in range(axis, ndim):
+        basic *= shape[ax]
+    if adv_shapes:
+        basic *= int(np.prod(np.broadcast_shapes(*adv_shapes), dtype=np.int64))
+    return int(basic)
+
+
 def _normalize_rows(idx: object, n0: int) -> RowSpec:
     """Rows along axis 0 referenced by index expression ``idx``."""
     head = idx[0] if isinstance(idx, tuple) else idx
@@ -124,8 +238,13 @@ class _SharedBase:
     def _count_elements(self, idx: object, rows: RowSpec, data: np.ndarray) -> int:
         """Elements touched by ``idx`` (exact for tuple indices)."""
         if isinstance(idx, tuple) and len(idx) > 1:
-            probe = data[idx]
-            return int(probe.size) if isinstance(probe, np.ndarray) else 1
+            try:
+                return _index_result_size(idx, data.shape)
+            except (TypeError, IndexError, ValueError):
+                # Index form the analytic path does not model: fall
+                # back to a materialising probe (exact but copying).
+                probe = data[idx]
+                return int(probe.size) if isinstance(probe, np.ndarray) else 1
         return rows.count * self._trailing
 
     @staticmethod
@@ -215,7 +334,13 @@ class GlobalShared(_SharedBase):
         def apply(_idx=idx, _v=value_copy):
             data[_idx] = _v
 
-        self.runtime.record_global_write(self, rows, n_elem, apply)
+        event = None
+        if self.runtime.sanitizer is not None:
+            event = WriteEvent(
+                shared=self, instance=None, kind="write", op=None,
+                idx=idx, value=value_copy, rows=rows, rank=cur.global_rank,
+            )
+        self.runtime.record_global_write(self, rows, n_elem, apply, event=event)
 
     def accumulate(self, rows, values, op: str = "add") -> None:
         """Combine ``values`` into ``self[rows]`` at phase commit with a
@@ -239,7 +364,13 @@ class GlobalShared(_SharedBase):
         def apply(_rows=rows, _v=vals):
             ufunc.at(data, _rows, _v)
 
-        self.runtime.record_global_write(self, spec, n_elem, apply)
+        event = None
+        if self.runtime.sanitizer is not None:
+            event = WriteEvent(
+                shared=self, instance=None, kind="accumulate", op=op,
+                idx=rows, value=vals, rows=spec, rank=cur.global_rank,
+            )
+        self.runtime.record_global_write(self, spec, n_elem, apply, event=event)
 
     @property
     def committed(self) -> np.ndarray:
@@ -311,7 +442,14 @@ class NodeShared(_SharedBase):
         def apply(_idx=idx, _v=value_copy, _data=data):
             _data[_idx] = _v
 
-        self.runtime.record_node_write(self, n_elem, apply)
+        event = None
+        if self.runtime.sanitizer is not None:
+            event = WriteEvent(
+                shared=self, instance=node, kind="write", op=None,
+                idx=idx, value=value_copy, rows=rows,
+                rank=self.runtime.cursor.global_rank,
+            )
+        self.runtime.record_node_write(self, n_elem, apply, event=event)
 
     def accumulate(self, rows, values, op: str = "add") -> None:
         """Node-level analogue of :meth:`GlobalShared.accumulate`."""
@@ -330,7 +468,14 @@ class NodeShared(_SharedBase):
         def apply(_rows=rows, _v=vals, _data=data):
             ufunc.at(_data, _rows, _v)
 
-        self.runtime.record_node_write(self, n_elem, apply)
+        event = None
+        if self.runtime.sanitizer is not None:
+            event = WriteEvent(
+                shared=self, instance=node, kind="accumulate", op=op,
+                idx=rows, value=vals, rows=spec,
+                rank=self.runtime.cursor.global_rank,
+            )
+        self.runtime.record_node_write(self, n_elem, apply, event=event)
 
     def __len__(self) -> int:
         return self.shape[0]

@@ -1,0 +1,131 @@
+"""Tests for the ``python -m repro.analysis`` command-line interface."""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import textwrap
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+CLEAN = textwrap.dedent(
+    """\
+    from repro.core import ppm_function
+
+    @ppm_function
+    def kernel(ctx, X):
+        yield ctx.global_phase
+        X[0] = 1.0
+
+    def main(ppm):
+        X = ppm.global_shared("x", 10)
+        ppm.do(ppm.cores_per_node, kernel, X)
+    """
+)
+
+BUGGY = textwrap.dedent(
+    """\
+    from repro.core import ppm_function
+
+    @ppm_function
+    def kernel(ctx, X):
+        yield ctx.global_phase
+        X[0] += 1.0
+
+    def main(ppm):
+        X = ppm.global_shared("x", 10)
+        ppm.do(ppm.cores_per_node, kernel, X)
+    """
+)
+
+WARN_ONLY = textwrap.dedent(
+    """\
+    from repro.core import ppm_function
+
+    @ppm_function
+    def kernel(ctx, X):
+        yield ctx.global_phase
+        X[0] = 1.0
+
+    def main(ppm):
+        X = ppm.global_shared("x", 10)
+        ppm.do(8, kernel, X)
+    """
+)
+
+
+def run_cli(*args: str):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src")
+    return subprocess.run(
+        [sys.executable, "-m", "repro.analysis", *args],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=REPO_ROOT,
+    )
+
+
+class TestCli:
+    def test_clean_file_exits_zero(self, tmp_path):
+        path = tmp_path / "clean.py"
+        path.write_text(CLEAN)
+        proc = run_cli(str(path))
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "clean: no findings" in proc.stdout
+
+    def test_error_finding_exits_one(self, tmp_path):
+        path = tmp_path / "buggy.py"
+        path.write_text(BUGGY)
+        proc = run_cli(str(path))
+        assert proc.returncode == 1
+        assert "PPM103" in proc.stdout
+        assert "1 error(s)" in proc.stdout
+
+    def test_warning_only_passes_unless_strict(self, tmp_path):
+        path = tmp_path / "warn.py"
+        path.write_text(WARN_ONLY)
+        assert run_cli(str(path)).returncode == 0
+        proc = run_cli("--strict", str(path))
+        assert proc.returncode == 1
+        assert "PPM105" in proc.stdout
+
+    def test_directory_recursion(self, tmp_path):
+        sub = tmp_path / "pkg"
+        sub.mkdir()
+        (sub / "a.py").write_text(CLEAN)
+        (sub / "b.py").write_text(BUGGY)
+        proc = run_cli(str(tmp_path))
+        assert proc.returncode == 1
+        assert "b.py" in proc.stdout and "a.py" not in proc.stdout
+
+    def test_json_output(self, tmp_path):
+        path = tmp_path / "buggy.py"
+        path.write_text(BUGGY)
+        proc = run_cli("--json", str(path))
+        findings = json.loads(proc.stdout)
+        assert len(findings) == 1
+        assert findings[0]["rule"] == "PPM103"
+        assert findings[0]["path"] == str(path)
+        assert findings[0]["line"] == 6
+
+    def test_list_rules(self):
+        proc = run_cli("--list-rules")
+        assert proc.returncode == 0
+        for rule_id in ("PPM101", "PPM102", "PPM103", "PPM104", "PPM105"):
+            assert rule_id in proc.stdout
+
+    def test_no_paths_is_usage_error(self):
+        proc = run_cli()
+        assert proc.returncode == 2
+
+    def test_missing_path_is_usage_error(self, tmp_path):
+        proc = run_cli(str(tmp_path / "nope.txt"))
+        assert proc.returncode == 2
+
+    def test_repo_gate_passes(self):
+        """The CI lint gate: the shipped examples and apps are clean."""
+        proc = run_cli("examples", os.path.join("src", "repro", "apps"))
+        assert proc.returncode == 0, proc.stdout + proc.stderr

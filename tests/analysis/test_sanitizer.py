@@ -1,0 +1,289 @@
+"""Tests for the dynamic phase-conflict sanitizer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import PhaseSanitizer
+from repro.analysis.diagnostics import Diagnostic
+from repro.core import PhaseConflictError, ppm_function, run_ppm
+from repro.machine import Cluster
+
+
+def rules_of(diagnostics):
+    return sorted({d.rule for d in diagnostics})
+
+
+# ======================================================================
+# Conflict classification
+# ======================================================================
+class TestConflictClassification:
+    def test_seeded_write_write_conflict_is_detected(self, config2x2):
+        """The acceptance regression: distinct VPs plain-write different
+        values to one element -> PPM201 error with full context."""
+
+        @ppm_function
+        def kernel(ctx, X):
+            yield ctx.global_phase
+            X[0] = float(ctx.global_rank)
+
+        def main(ppm):
+            X = ppm.global_shared("x", 4)
+            ppm.do(2, kernel, X)
+            return X.committed
+
+        ppm, committed = run_ppm(main, Cluster(config2x2), sanitize="warn")
+        errors = [d for d in ppm.diagnostics if d.severity == "error"]
+        assert len(errors) == 1
+        diag = errors[0]
+        assert diag.rule == "PPM201"
+        assert diag.tool == "sanitizer"
+        assert diag.variable == "x"
+        assert diag.rows == (0,)
+        assert diag.ranks == (0, 1, 2, 3)
+        assert diag.phase_kind == "global"
+        # R3 still commits deterministically (highest rank wins).
+        assert committed[0] == 3.0
+
+    def test_benign_same_value_overlap_is_warning(self, config2x2):
+        @ppm_function
+        def kernel(ctx, X):
+            yield ctx.global_phase
+            X[1] = 7.0
+
+        def main(ppm):
+            X = ppm.global_shared("x", 4)
+            ppm.do(2, kernel, X)
+
+        ppm, _ = run_ppm(main, Cluster(config2x2), sanitize="warn")
+        assert rules_of(ppm.diagnostics) == ["PPM203"]
+        assert all(d.severity == "warning" for d in ppm.diagnostics)
+
+    def test_mixed_write_and_accumulate_is_ppm202(self, config2x2):
+        @ppm_function
+        def kernel(ctx, X):
+            yield ctx.global_phase
+            if ctx.global_rank == 0:
+                X[1] = 5.0
+            else:
+                X.accumulate(np.array([1]), np.array([2.0]))
+
+        def main(ppm):
+            X = ppm.global_shared("x", 4)
+            ppm.do(1, kernel, X)
+
+        ppm, _ = run_ppm(main, Cluster(config2x2), sanitize="warn")
+        assert "PPM202" in rules_of(ppm.diagnostics)
+
+    def test_mixed_accumulate_ops_are_rank_order_dependent(self, config2x2):
+        @ppm_function
+        def kernel(ctx, X):
+            yield ctx.global_phase
+            op = "add" if ctx.global_rank % 2 == 0 else "multiply"
+            X.accumulate(np.array([0]), np.array([3.0]), op=op)
+
+        def main(ppm):
+            X = ppm.global_shared("x", 2, fill=1.0)
+            ppm.do(1, kernel, X)
+
+        ppm, _ = run_ppm(main, Cluster(config2x2), sanitize="warn")
+        assert "PPM201" in rules_of(ppm.diagnostics)
+
+    def test_three_writers_agreeing_at_both_extremes_still_flagged(self, cluster1):
+        """Writers a, b, a agree under forward AND reverse commit order
+        but disagree under (0, 2, 1) — classification must be exact,
+        not a two-permutation probe."""
+
+        @ppm_function
+        def kernel(ctx, X):
+            yield ctx.global_phase
+            X[0] = 1.0 if ctx.global_rank in (0, 2) else 2.0
+
+        def main(ppm):
+            X = ppm.global_shared("x", 2)
+            ppm.do(3, kernel, X)
+
+        ppm, _ = run_ppm(main, cluster1, sanitize="warn")
+        assert "PPM201" in rules_of(ppm.diagnostics)
+
+
+# ======================================================================
+# Blessed patterns stay clean
+# ======================================================================
+class TestCleanPatterns:
+    def test_overlapping_same_op_accumulates_are_blessed(self, config2x2):
+        @ppm_function
+        def kernel(ctx, X):
+            yield ctx.global_phase
+            X.accumulate(np.array([0, 1]), np.array([1.0, 1.0]))
+
+        def main(ppm):
+            X = ppm.global_shared("x", 4)
+            ppm.do(2, kernel, X)
+            return X.committed
+
+        ppm, committed = run_ppm(main, Cluster(config2x2), sanitize="warn")
+        assert ppm.diagnostics == []
+        assert committed[0] == 4.0  # all four VPs combined (R4)
+
+    def test_disjoint_chunks_are_clean(self, config2x2):
+        @ppm_function
+        def kernel(ctx, X):
+            yield ctx.global_phase
+            X[ctx.global_rank] = float(ctx.global_rank)
+
+        def main(ppm):
+            X = ppm.global_shared("x", 8)
+            ppm.do(2, kernel, X)
+
+        ppm, _ = run_ppm(main, Cluster(config2x2), sanitize="warn")
+        assert ppm.diagnostics == []
+
+    def test_single_writer_is_clean(self, config2x2):
+        @ppm_function
+        def kernel(ctx, X):
+            yield ctx.global_phase
+            if ctx.global_rank == 0:
+                X[:] = np.ones(4)
+                X[0] = 5.0  # same-VP overwrite is program order, not a race
+
+        def main(ppm):
+            X = ppm.global_shared("x", 4)
+            ppm.do(2, kernel, X)
+
+        ppm, _ = run_ppm(main, Cluster(config2x2), sanitize="warn")
+        assert ppm.diagnostics == []
+
+
+# ======================================================================
+# Node-shared instances
+# ======================================================================
+class TestNodeShared:
+    def test_node_shared_conflict_is_per_instance(self, config2x2):
+        @ppm_function
+        def kernel(ctx, Y):
+            yield ctx.node_phase
+            if ctx.node_id == 0:
+                Y[0] = float(ctx.node_rank)  # both VPs of node 0 disagree
+
+        def main(ppm):
+            Y = ppm.node_shared("y", 4)
+            ppm.do(2, kernel, Y)
+
+        ppm, _ = run_ppm(main, Cluster(config2x2), sanitize="warn")
+        errors = [d for d in ppm.diagnostics if d.severity == "error"]
+        assert len(errors) == 1
+        assert errors[0].rule == "PPM201"
+        assert errors[0].variable == "y@node0"
+        assert errors[0].phase_kind == "node"
+
+
+# ======================================================================
+# Modes and knobs
+# ======================================================================
+class TestModes:
+    def test_strict_raises_before_commit(self, config2x2):
+        @ppm_function
+        def kernel(ctx, X):
+            yield ctx.global_phase
+            X[0] = float(ctx.global_rank)
+
+        def main(ppm):
+            X = ppm.global_shared("x", 4, fill=-1.0)
+            main.handle = X
+            ppm.do(2, kernel, X)
+
+        with pytest.raises(PhaseConflictError) as exc_info:
+            run_ppm(main, Cluster(config2x2), sanitize="strict")
+        err = exc_info.value
+        assert err.diagnostics
+        assert all(isinstance(d, Diagnostic) for d in err.diagnostics)
+        assert err.diagnostics[0].rule == "PPM201"
+        # Failure atomicity: the aborted phase must not have committed.
+        assert main.handle.committed[0] == -1.0
+
+    def test_strict_does_not_raise_on_warning_only(self, config2x2):
+        @ppm_function
+        def kernel(ctx, X):
+            yield ctx.global_phase
+            X[0] = 7.0  # benign same-value overlap -> PPM203 warning
+
+        def main(ppm):
+            X = ppm.global_shared("x", 4)
+            ppm.do(2, kernel, X)
+
+        ppm, _ = run_ppm(main, Cluster(config2x2), sanitize="strict")
+        assert rules_of(ppm.diagnostics) == ["PPM203"]
+
+    def test_sanitize_true_means_warn(self, config2x2):
+        ppm, _ = run_ppm(lambda p: None, Cluster(config2x2), sanitize=True)
+        assert ppm.runtime.sanitizer is not None
+        assert ppm.runtime.sanitizer.mode == "warn"
+
+    def test_sanitizer_off_by_default(self, config2x2):
+        @ppm_function
+        def kernel(ctx, X):
+            yield ctx.global_phase
+            X[0] = float(ctx.global_rank)
+
+        def main(ppm):
+            X = ppm.global_shared("x", 4)
+            ppm.do(2, kernel, X)
+
+        ppm, _ = run_ppm(main, Cluster(config2x2))
+        assert ppm.runtime.sanitizer is None
+        assert ppm.diagnostics == []
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError):
+            PhaseSanitizer(mode="noisy")
+
+    def test_sanitizer_does_not_change_results_or_timing(self, config2x2):
+        @ppm_function
+        def kernel(ctx, X):
+            yield ctx.global_phase
+            X.accumulate(np.array([ctx.global_rank % 4]), np.array([1.0]))
+            yield ctx.global_phase
+            X[4 + ctx.global_rank] = float(ctx.global_rank)
+            ctx.work(100)
+
+        def main(ppm):
+            X = ppm.global_shared("x", 16)
+            ppm.do(2, kernel, X)
+            return X.committed
+
+        ppm_off, base = run_ppm(main, Cluster(config2x2))
+        ppm_on, sanitized = run_ppm(main, Cluster(config2x2), sanitize="warn")
+        np.testing.assert_array_equal(base, sanitized)
+        assert ppm_off.elapsed == ppm_on.elapsed
+        assert ppm_on.diagnostics == []
+        assert ppm_on.runtime.sanitizer.phases_checked == 2
+
+
+# ======================================================================
+# The shipped apps stay clean under the sanitizer
+# ======================================================================
+class TestAppsClean:
+    def test_ppm_cg_has_no_conflicts(self, franklin4):
+        from repro.apps.cg import build_chimney_problem, ppm_cg_solve
+
+        problem = build_chimney_problem(4)  # 4x4x8 = 128 rows
+        import repro.apps.cg.ppm_cg as mod
+
+        orig = mod.run_ppm
+        seen = []
+
+        def wrapped(main, cluster, *args, **kwargs):
+            kwargs["sanitize"] = "warn"
+            ppm, result = orig(main, cluster, *args, **kwargs)
+            seen.extend(ppm.diagnostics)
+            return ppm, result
+
+        mod.run_ppm = wrapped
+        try:
+            result, _ = ppm_cg_solve(problem, franklin4, max_iters=30)
+        finally:
+            mod.run_ppm = orig
+        assert result.converged
+        assert [d for d in seen if d.severity == "error"] == []

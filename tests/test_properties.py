@@ -372,3 +372,127 @@ class TestApplicationEquivalenceProperties:
         ref, _ = serial_mg_solve(problem, cycles=2)
         u, _ = ppm_mg_solve(problem, Cluster(franklin(n_nodes=nodes)), cycles=2)
         assert np.abs(u - ref).max() == 0.0
+
+
+class TestSanitizerProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        writes=st.lists(
+            st.tuples(
+                st.integers(0, 3),  # writing VP's global rank
+                st.integers(0, 4),  # row
+                st.integers(0, 2),  # value (small range forces collisions)
+            ),
+            min_size=1,
+            max_size=10,
+        ),
+        layout=st.sampled_from([(1, 4), (2, 2), (4, 1)]),
+    )
+    def test_ppm201_iff_commit_order_matters(self, writes, layout):
+        """The sanitizer reports a rank-order-dependent conflict
+        (PPM201) exactly when permuting the VP commit order changes
+        the committed array.
+
+        Plain writes only: their commit is last-writer-wins, so an
+        exhaustive oracle over all rank permutations is exact (float
+        accumulates would break the 'iff' by mere reassociation)."""
+        import itertools
+
+        n_rows = 5
+        per_vp: list[list[tuple[int, float]]] = [[] for _ in range(4)]
+        for rank, row, value in writes:
+            per_vp[rank].append((row, float(value)))
+
+        @ppm_function
+        def kernel(ctx, X):
+            yield ctx.global_phase
+            for row, value in per_vp[ctx.global_rank]:
+                X[row] = value
+
+        def main(ppm):
+            X = ppm.global_shared("X", n_rows)
+            ppm.do(layout[1], kernel, X)
+            return X.committed
+
+        n_nodes, per_node = layout
+        cluster = Cluster(mkconfig(n_nodes=n_nodes, cores_per_node=per_node))
+        ppm, committed = run_ppm(main, cluster, sanitize="warn")
+
+        # Exhaustive oracle: replay the write plan under every rank
+        # permutation (writes of one VP keep their program order, R3).
+        outcomes = set()
+        for perm in itertools.permutations(range(4)):
+            arr = np.zeros(n_rows)
+            for rank in perm:
+                for row, value in per_vp[rank]:
+                    arr[row] = value
+            outcomes.add(arr.tobytes())
+        order_matters = len(outcomes) > 1
+
+        flagged = any(d.rule == "PPM201" for d in ppm.diagnostics)
+        assert flagged == order_matters
+        # And the actual commit matches the identity-order replay.
+        expected = np.zeros(n_rows)
+        for rank in range(4):
+            for row, value in per_vp[rank]:
+                expected[row] = value
+        assert (committed == expected).all()
+
+
+class TestIndexSizeProperties:
+    @settings(max_examples=150, deadline=None)
+    @given(shape=st.sampled_from([(7,), (5, 4), (4, 3, 2)]), data=st.data())
+    def test_index_result_size_matches_numpy(self, shape, data):
+        """The analytic element counter used by the write-cost model
+        agrees with numpy on every index form it claims to model."""
+        from repro.core.shared import _index_result_size
+
+        def axis_index(n: int, allow_arrays: bool):
+            opts = [
+                st.integers(-n, n - 1),
+                st.slices(n),
+            ]
+            if allow_arrays:
+                opts.append(
+                    st.lists(st.integers(0, n - 1), max_size=6).map(
+                        lambda xs: np.array(xs, dtype=np.int64)
+                    )
+                )
+                opts.append(
+                    st.lists(st.booleans(), min_size=n, max_size=n).map(np.array)
+                )
+            return st.one_of(opts)
+
+        arr = np.zeros(shape)
+        n_axes = data.draw(st.integers(1, len(shape)))
+        # At most one advanced (array) entry: several advanced entries
+        # must broadcast, which numpy itself rejects on mismatch.
+        adv_axis = data.draw(st.integers(0, n_axes - 1))
+        idx = tuple(
+            data.draw(axis_index(shape[ax], allow_arrays=(ax == adv_axis)))
+            for ax in range(n_axes)
+        )
+        assert _index_result_size(idx, shape) == arr[idx].size
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        n=st.integers(1, 30),
+        trailing=st.sampled_from([(), (3,), (2, 2)]),
+        data=st.data(),
+    )
+    def test_count_elements_avoids_fancy_copy(self, n, trailing, data):
+        """`_count_elements` on a (rows, column-index) tuple matches the
+        materialised size without building the fancy-index copy."""
+        from repro.core.shared import _index_result_size
+
+        shape = (n,) + trailing
+        arr = np.zeros(shape)
+        rows = data.draw(
+            st.lists(st.integers(0, n - 1), min_size=1, max_size=8).map(
+                lambda xs: np.array(xs, dtype=np.int64)
+            )
+        )
+        idx: tuple = (rows,)
+        for ax in range(1, len(shape)):
+            idx = idx + (data.draw(st.slices(shape[ax])),)
+        assert _index_result_size(idx, shape) == arr[idx].size
