@@ -1,0 +1,26 @@
+"""Observability regression: traced CG traffic and bundling ratio.
+
+Not a paper figure — this pins down the observability layer's headline
+numbers: a traced CG run must show the runtime bundling fine-grained
+remote accesses into far fewer wire messages (the section 3.3 claim),
+with a well-formed report (overlap fraction in [0, 1], bytes conserved
+— the latter enforced inside ``RunReport.from_events``).
+"""
+
+from __future__ import annotations
+
+from repro.bench.obs_traffic import obs_cg_traffic
+
+
+def test_obs_cg_traffic(benchmark, record_sweep):
+    result = benchmark.pedantic(
+        lambda: record_sweep(obs_cg_traffic), rounds=1, iterations=1
+    )
+    for ratio in result.series("bundling_ratio"):
+        assert ratio > 10.0, "bundling must beat one-message-per-element by >10x"
+    for msgs, unbundled in zip(
+        result.series("bundled_msgs"), result.series("unbundled_msgs")
+    ):
+        assert 0 < msgs < unbundled
+    for pct in result.series("overlap_pct"):
+        assert 0.0 <= pct <= 100.0

@@ -14,7 +14,9 @@ Public API overview
 * :mod:`repro.apps` — the paper's three applications, each in PPM,
   MPI and serial-reference form;
 * :mod:`repro.bench` — the experiment harness regenerating every
-  figure and table of the paper's evaluation.
+  figure and table of the paper's evaluation;
+* :mod:`repro.obs` — phase-level tracing, run reports and trace
+  exporters (``run_ppm(..., trace=True)``, ``python -m repro.obs``).
 """
 
 from repro.config import MachineConfig, franklin, manycore, testing
@@ -29,6 +31,7 @@ from repro.core import (
 )
 from repro.machine import Cluster
 from repro.mpi import run_mpi
+from repro.obs import PhaseTrace, RunReport
 
 __version__ = "1.0.0"
 
@@ -37,8 +40,10 @@ __all__ = [
     "GlobalShared",
     "MachineConfig",
     "NodeShared",
+    "PhaseTrace",
     "PpmError",
     "PpmProgram",
+    "RunReport",
     "VpContext",
     "__version__",
     "franklin",

@@ -21,6 +21,10 @@ PPM202     mixed plain write + accumulate on one element from distinct
 PPM203     benign overlap: distinct VPs plain-wrote identical values
            to one element (sanitizer, warning)
 =========  ============================================================
+
+Each rule id anchors a section of docs/DIAGNOSTICS.md (e.g.
+docs/DIAGNOSTICS.md#ppm101) with a minimal triggering example and the
+idiomatic fix.
 """
 
 from __future__ import annotations

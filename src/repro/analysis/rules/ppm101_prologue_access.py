@@ -6,6 +6,8 @@ phase open; the runtime rejects shared accesses there at execution time
 any subscript read/write or ``accumulate`` on a shared parameter that
 lies before the first phase declaration.  Metadata calls
 (``X.local_range(...)``, ``X.shape``) are not accesses and are legal.
+
+Reference (triggering example and fix): docs/DIAGNOSTICS.md#ppm101
 """
 
 from __future__ import annotations

@@ -6,6 +6,8 @@ cluster agreement, so a global write there would race across nodes.
 The runtime raises ``SharedAccessError`` at execution time; this rule
 reports the same violation statically, for phases whose kind is
 statically known.
+
+Reference (triggering example and fix): docs/DIAGNOSTICS.md#ppm102
 """
 
 from __future__ import annotations

@@ -8,6 +8,8 @@ The combining form ``X.accumulate(i, v)`` merges every contribution
 (R4) and is what a reduction means in this model.  Even when elements
 never actually overlap, the accumulate form states the intent and stays
 correct under re-chunking.
+
+Reference (triggering example and fix): docs/DIAGNOSTICS.md#ppm103
 """
 
 from __future__ import annotations

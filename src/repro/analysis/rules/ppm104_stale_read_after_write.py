@@ -17,6 +17,8 @@ Two guards keep the rule quiet on correct code:
   chain is not a prefix of the read's (e.g. the two sit in different
   arms of an ``if op == ...`` dispatch) may never execute together
   with the read, so it is ignored.
+
+Reference (triggering example and fix): docs/DIAGNOSTICS.md#ppm104
 """
 
 from __future__ import annotations

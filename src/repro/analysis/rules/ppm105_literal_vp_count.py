@@ -10,6 +10,8 @@ or over-subscribes it.
 Only inline literals are flagged.  A named module-level constant
 (``K = 16`` then ``ppm.do(K, ...)``) expresses a deliberate choice and
 is left alone — the paper's own listings use that form.
+
+Reference (triggering example and fix): docs/DIAGNOSTICS.md#ppm105
 """
 
 from __future__ import annotations

@@ -27,6 +27,9 @@ Overlapping ``accumulate`` calls with one common commutative operator
 are the model's blessed combining pattern (R4) and produce no
 diagnostic.  Classification never touches the committed store: events
 replay onto scratch copies of the phase-start snapshot.
+
+Reference (triggering examples and fixes): docs/DIAGNOSTICS.md#ppm201,
+#ppm202 and #ppm203.
 """
 
 from __future__ import annotations

@@ -83,6 +83,7 @@ def ppm_bh_simulate(
     eps: float = 1e-3,
     leaf_size: int = 16,
     vp_per_core: int = 2,
+    trace=None,
 ) -> tuple[np.ndarray, np.ndarray, float]:
     """Run the PPM Barnes-Hut on the cluster.
 
@@ -107,5 +108,5 @@ def ppm_bh_simulate(
         )
         return POSM.committed, VEL.committed
 
-    ppm, (posm, vel_out) = run_ppm(main, cluster)
+    ppm, (posm, vel_out) = run_ppm(main, cluster, trace=trace)
     return posm[:, 0:3], vel_out, ppm.elapsed

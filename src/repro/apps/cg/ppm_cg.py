@@ -96,11 +96,14 @@ def ppm_cg_solve(
     max_iters: int = 200,
     tol: float = 1e-8,
     vp_per_core: int = 2,
+    trace=None,
 ) -> tuple[CgResult, float]:
     """Solve the problem with the PPM CG on the given cluster.
 
     Returns the solver result and the simulated execution time of the
-    solve (setup is untimed, as in the paper's measurements).
+    solve (setup is untimed, as in the paper's measurements).  Pass a
+    :class:`~repro.obs.events.PhaseTrace` as ``trace`` to collect
+    phase-level observability events for the run.
     """
 
     def main(ppm):
@@ -118,7 +121,7 @@ def ppm_cg_solve(
         ppm.do(k, _cg_kernel, problem.A, xs, rs, ps, qs, stats, b_norm, max_iters, tol)
         return xs.committed, stats.committed
 
-    ppm, (x, stats) = run_ppm(main, cluster)
+    ppm, (x, stats) = run_ppm(main, cluster, trace=trace)
     result = CgResult(
         x=x,
         iterations=int(stats[1]),

@@ -64,6 +64,7 @@ def ppm_generate(
     cluster: Cluster,
     *,
     vp_per_core: int = 2,
+    trace=None,
 ) -> tuple[sp.coo_matrix, float]:
     """Generate the matrix with PPM on the given cluster.
 
@@ -82,6 +83,6 @@ def ppm_generate(
         ppm.do(k, _gen_kernel, problem, CACHE, VALS)
         return VALS.committed
 
-    ppm, vals = run_ppm(main, cluster)
+    ppm, vals = run_ppm(main, cluster, trace=trace)
     matrix = slots_to_coo(problem, vals)
     return matrix, ppm.elapsed

@@ -48,6 +48,7 @@ def ppm_bfs(
     cluster: Cluster,
     *,
     vp_per_core: int = 2,
+    trace=None,
 ) -> tuple[np.ndarray, float]:
     """Run the PPM BFS; returns distances and the simulated time."""
 
@@ -59,5 +60,5 @@ def ppm_bfs(
         ppm.do(k, _bfs_kernel, graph, DIST)
         return DIST.committed
 
-    ppm, dist = run_ppm(main, cluster)
+    ppm, dist = run_ppm(main, cluster, trace=trace)
     return dist, ppm.elapsed

@@ -85,6 +85,7 @@ def ppm_mg_solve(
     nu1: int = 2,
     nu2: int = 2,
     vp_per_core: int = 2,
+    trace=None,
 ) -> tuple[np.ndarray, float]:
     """Run the PPM V-cycles; returns the finest iterate and the
     simulated time."""
@@ -100,5 +101,5 @@ def ppm_mg_solve(
         ppm.do(k, _mg_kernel, problem, U, F, R, cycles, nu1, nu2)
         return U[0].committed
 
-    ppm, u = run_ppm(main, cluster)
+    ppm, u = run_ppm(main, cluster, trace=trace)
     return u, ppm.elapsed

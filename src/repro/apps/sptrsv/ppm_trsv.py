@@ -62,6 +62,7 @@ def ppm_trsv(
     cluster: Cluster,
     *,
     vp_per_core: int = 2,
+    trace=None,
 ) -> tuple[np.ndarray, float]:
     """Solve with PPM on the cluster; returns x and simulated time."""
 
@@ -72,5 +73,5 @@ def ppm_trsv(
         ppm.do(k, _trsv_kernel, problem, X)
         return X.committed
 
-    ppm, x = run_ppm(main, cluster)
+    ppm, x = run_ppm(main, cluster, trace=trace)
     return x, ppm.elapsed

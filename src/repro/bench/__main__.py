@@ -29,6 +29,7 @@ from repro.bench.figures import (
     fig2_matgen,
     fig3_barneshut,
 )
+from repro.bench.obs_traffic import obs_cg_traffic
 from repro.bench.report import render_chart, save_result
 
 EXPERIMENTS: dict[str, Callable] = {
@@ -44,6 +45,7 @@ EXPERIMENTS: dict[str, Callable] = {
     "ext_bfs": ext_bfs,
     "ext_trsv": ext_trsv,
     "ext_multigrid": ext_multigrid,
+    "obs_cg": obs_cg_traffic,
 }
 
 

@@ -18,6 +18,7 @@ import numpy as np
 
 from repro.core.phase import PhaseRecorder
 from repro.core.shared import GlobalShared, RowSpec
+from repro.obs.events import BundleFlushed
 
 
 @dataclass
@@ -67,12 +68,17 @@ def _owner_counts(shared: GlobalShared, rows: np.ndarray, n_nodes: int) -> np.nd
     return np.bincount(owners, minlength=n_nodes) * shared._trailing
 
 
-def aggregate_traffic(recorder: PhaseRecorder, n_nodes: int) -> dict[int, NodeTraffic]:
+def aggregate_traffic(
+    recorder: PhaseRecorder, n_nodes: int, *, tracer=None
+) -> dict[int, NodeTraffic]:
     """Aggregate a phase's recorded global-shared accesses.
 
     Returns a :class:`NodeTraffic` for every node that touched a
     global shared variable, with per-owner deduplicated element counts
-    for reads and writes separately.
+    for reads and writes separately.  When ``tracer`` is set, one
+    :class:`~repro.obs.events.BundleFlushed` event is emitted per
+    (node, variable, direction) aggregation — the raw-vs-deduplicated
+    numbers behind the runtime's bundling claim.
     """
     traffic: dict[int, NodeTraffic] = {}
 
@@ -103,25 +109,63 @@ def aggregate_traffic(recorder: PhaseRecorder, n_nodes: int) -> dict[int, NodeTr
         for shared, specs in shared_map.items():
             counts = _owner_counts(shared, _unique_rows(specs), n_nodes)
             scale = density(specs, shared, recorder.global_read_elems[node_id][shared])
+            local = remote = peers = 0
             for owner in np.nonzero(counts)[0]:
                 owner = int(owner)
                 elems = max(1, int(round(counts[owner] * scale)))
                 if owner == node_id:
                     nt.local_read_elems += elems
+                    local += elems
                 else:
                     peer_entry(nt, shared, owner).read_elems += elems
+                    remote += elems
+                    peers += 1
+            if tracer is not None:
+                tracer.emit(
+                    BundleFlushed(
+                        phase=tracer.phase,
+                        node=node_id,
+                        variable=shared.name,
+                        direction="read",
+                        raw_ops=len(specs),
+                        raw_elems=recorder.global_read_elems[node_id][shared],
+                        unique_elems=local + remote,
+                        local_elems=local,
+                        remote_elems=remote,
+                        peers=peers,
+                    )
+                )
 
     for node_id, shared_map in recorder.global_writes.items():
         nt = entry(node_id)
         for shared, specs in shared_map.items():
             counts = _owner_counts(shared, _unique_rows(specs), n_nodes)
             scale = density(specs, shared, recorder.global_write_elems[node_id][shared])
+            local = remote = peers = 0
             for owner in np.nonzero(counts)[0]:
                 owner = int(owner)
                 elems = max(1, int(round(counts[owner] * scale)))
                 if owner == node_id:
                     nt.local_write_elems += elems
+                    local += elems
                 else:
                     peer_entry(nt, shared, owner).write_elems += elems
+                    remote += elems
+                    peers += 1
+            if tracer is not None:
+                tracer.emit(
+                    BundleFlushed(
+                        phase=tracer.phase,
+                        node=node_id,
+                        variable=shared.name,
+                        direction="write",
+                        raw_ops=len(specs),
+                        raw_elems=recorder.global_write_elems[node_id][shared],
+                        unique_elems=local + remote,
+                        local_elems=local,
+                        remote_elems=remote,
+                        peers=peers,
+                    )
+                )
 
     return traffic

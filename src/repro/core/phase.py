@@ -15,17 +15,33 @@ from typing import TYPE_CHECKING, Callable
 
 from repro.core.collectives import CollectiveSlot
 from repro.core.shared import RowSpec, WriteEvent
+from repro.obs.events import VpScheduled
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.shared import GlobalShared, NodeShared
 
 
 class PhaseRecorder:
-    """Mutable record of one phase's shared-memory activity."""
+    """Mutable record of one phase's shared-memory activity.
 
-    def __init__(self, kind: str, latency_rounds: int = 1) -> None:
+    ``tracer``/``phase_index`` connect the recorder to the
+    observability bus (:mod:`repro.obs`): when a tracer is attached,
+    every VP resume reports a
+    :class:`~repro.obs.events.VpScheduled` event.
+    """
+
+    def __init__(
+        self,
+        kind: str,
+        latency_rounds: int = 1,
+        *,
+        tracer=None,
+        phase_index: int = -1,
+    ) -> None:
         self.kind = kind
         self.latency_rounds = latency_rounds
+        self.tracer = tracer
+        self.phase_index = phase_index
         # node id -> shared -> list[RowSpec]
         self.global_reads: dict[int, dict["GlobalShared", list[RowSpec]]] = defaultdict(
             lambda: defaultdict(list)
@@ -108,7 +124,19 @@ class PhaseRecorder:
             self.write_events.append(event)
         self.write_elems += n_elem
 
-    def add_vp_cost(self, node_id: int, core_id: int, cost: float) -> None:
+    def add_vp_cost(
+        self, node_id: int, core_id: int, cost: float, *, vp: int = -1
+    ) -> None:
+        if self.tracer is not None:
+            self.tracer.emit(
+                VpScheduled(
+                    phase=self.phase_index,
+                    node=node_id,
+                    core=core_id,
+                    vp=vp,
+                    cost=cost,
+                )
+            )
         if cost:
             self.core_costs[node_id][core_id] += cost
 

@@ -25,10 +25,12 @@ from typing import Callable
 
 import numpy as np
 
+from repro.core.errors import PpmError
 from repro.core.runtime import DoStats, PpmRuntime
 from repro.core.shared import GlobalShared, NodeShared
 from repro.machine.cluster import Cluster
 from repro.machine.trace import Trace
+from repro.obs.events import PhaseTrace
 
 
 @dataclass(frozen=True)
@@ -61,8 +63,21 @@ class PpmProgram:
         *,
         vp_executor: str = "sequential",
         sanitize: str | bool | None = None,
+        trace: "PhaseTrace | bool | None" = None,
     ) -> None:
-        self.runtime = PpmRuntime(cluster, vp_executor=vp_executor, sanitize=sanitize)
+        if trace in (None, False):
+            tracer = None
+        elif trace is True or trace == "on":
+            tracer = PhaseTrace()
+        elif isinstance(trace, PhaseTrace):
+            tracer = trace
+        else:
+            raise ValueError(
+                f"trace must be None, True, 'on' or a PhaseTrace, got {trace!r}"
+            )
+        self.runtime = PpmRuntime(
+            cluster, vp_executor=vp_executor, sanitize=sanitize, trace=tracer
+        )
         self.cluster = cluster
 
     # -- system variables ----------------------------------------------
@@ -131,6 +146,25 @@ class PpmProgram:
         return self.cluster.trace
 
     @property
+    def tracer(self):
+        """The structured :class:`~repro.obs.events.PhaseTrace` attached
+        via ``trace=...`` (``None`` when tracing is off)."""
+        return self.runtime.tracer
+
+    def report(self):
+        """Aggregate the attached tracer's events into a
+        :class:`~repro.obs.metrics.RunReport` (per-phase work, traffic,
+        overlap and barrier-skew metrics)."""
+        if self.runtime.tracer is None:
+            raise PpmError(
+                "no phase trace attached; run with trace=True "
+                "(or pass a PhaseTrace) to collect a report"
+            )
+        from repro.obs.metrics import RunReport
+
+        return RunReport.from_trace(self.runtime.tracer)
+
+    @property
     def profile(self) -> list:
         """Per-phase timing breakdowns
         (:class:`~repro.core.runtime.PhaseProfile` entries)."""
@@ -166,6 +200,7 @@ def run_ppm(
     *args: object,
     vp_executor: str = "sequential",
     sanitize: str | bool | None = None,
+    trace: "PhaseTrace | bool | None" = None,
     **kwargs: object,
 ):
     """Run a PPM application.
@@ -186,6 +221,14 @@ def run_ppm(
         ``"strict"`` (raise
         :class:`~repro.core.errors.PhaseConflictError` before the
         offending phase commits).
+    trace:
+        ``None`` (default, off), ``True``/``"on"`` (attach a fresh
+        :class:`~repro.obs.events.PhaseTrace`) or an existing
+        ``PhaseTrace`` instance.  With tracing on, structured phase
+        events accumulate on ``ppm.tracer`` and ``ppm.report()``
+        aggregates them into a
+        :class:`~repro.obs.metrics.RunReport`.  Tracing never changes
+        simulated results or times.
 
     Returns
     -------
@@ -193,6 +236,6 @@ def run_ppm(
         The program object (for ``elapsed``, ``trace``, shared
         registry) and ``main``'s return value.
     """
-    ppm = PpmProgram(cluster, vp_executor=vp_executor, sanitize=sanitize)
+    ppm = PpmProgram(cluster, vp_executor=vp_executor, sanitize=sanitize, trace=trace)
     result = main(ppm, *args, **kwargs)
     return ppm, result

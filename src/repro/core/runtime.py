@@ -39,6 +39,7 @@ from repro.core.shared import GlobalShared, RowSpec
 from repro.core.vp import VpContext, core_of
 from repro.machine.cluster import Cluster
 from repro.machine.network import ZERO_COST
+from repro.obs.events import NodeSlice, PhaseBegin, PhaseCommit
 
 
 class _VpRecord:
@@ -108,6 +109,7 @@ class PpmRuntime:
         *,
         vp_executor: str = "sequential",
         sanitize: str | bool | None = None,
+        trace=None,
     ) -> None:
         if vp_executor not in ("sequential", "threads"):
             raise ValueError(
@@ -115,6 +117,14 @@ class PpmRuntime:
             )
         self.cluster = cluster
         self.vp_executor = vp_executor
+        #: Observability event bus (:class:`repro.obs.PhaseTrace`), or
+        #: None.  Every instrumented site is gated on a single
+        #: ``tracer is not None`` test, so the untraced default path
+        #: is unchanged; traced runs commit bitwise-identical results.
+        self.tracer = trace
+        # The network model emits BarrierWait events for the
+        # phase-closing synchronisation it prices (docs/OBSERVABILITY.md).
+        cluster.network.tracer = trace
         #: Phase-conflict sanitizer (``repro.analysis``), or None.  When
         #: set, every buffered write also records a
         #: :class:`~repro.core.shared.WriteEvent` and each commit is
@@ -419,7 +429,9 @@ class PpmRuntime:
                     ctx._cost = 0.0
                     ctx._coll_index = 0
                     self._advance(vp)
-                    recorder.add_vp_cost(ctx.node_id, ctx.core_id, ctx._cost)
+                    recorder.add_vp_cost(
+                        ctx.node_id, ctx.core_id, ctx._cost, vp=ctx.global_rank
+                    )
                     vp.last_cost = ctx._cost
                     ctx._cost = 0.0
         finally:
@@ -478,7 +490,9 @@ class PpmRuntime:
             except BaseException as exc:  # noqa: BLE001 - re-raised below
                 return exc
             with self._record_lock:
-                recorder.add_vp_cost(ctx.node_id, ctx.core_id, ctx._cost)
+                recorder.add_vp_cost(
+                    ctx.node_id, ctx.core_id, ctx._cost, vp=ctx.global_rank
+                )
             vp.last_cost = ctx._cost
             ctx._cost = 0.0
             return None
@@ -498,30 +512,45 @@ class PpmRuntime:
             for vp in vps_by_node[n]
             if not vp.done
         )
-        recorder = PhaseRecorder("global", latency_rounds)
+        tr = self.tracer
+        phase_index = self.stats_global_phases + self.stats_node_phases
+        recorder = PhaseRecorder(
+            "global", latency_rounds, tracer=tr, phase_index=phase_index
+        )
         body_vps = [vp for n in active_nodes for vp in vps_by_node[n]]
+        if tr is not None:
+            tr.phase = phase_index
+            tr.emit(
+                PhaseBegin(
+                    phase=phase_index,
+                    phase_kind="global",
+                    latency_rounds=latency_rounds,
+                    vps=sum(1 for vp in body_vps if not vp.done),
+                    nodes=tuple(active_nodes),
+                    t=min(self.cluster.node(n).clock.now for n in active_nodes),
+                )
+            )
         self._execute_phase_bodies(recorder, body_vps)
 
         # Commit: conflict check (strict mode aborts before any write
         # is visible), then writes in rank order, then collectives.
         if self.sanitizer is not None:
-            self.sanitizer.check_phase(
-                recorder,
-                phase_index=self.stats_global_phases + self.stats_node_phases,
-            )
+            self.sanitizer.check_phase(recorder, phase_index=phase_index)
         recorder.apply_writes()
         n_contrib = recorder.resolve_collectives()
 
         cfg = self.config
         net = self.cluster.network
-        traffic = aggregate_traffic(recorder, self.cluster.n_nodes)
+        traffic = aggregate_traffic(recorder, self.cluster.n_nodes, tracer=tr)
 
         in_cpu: dict[int, float] = {}
         comm_costs = {}
         total_msgs = 0
         total_bytes = 0
         for node_id, nt in traffic.items():
-            cost = node_comm_cost(net, nt, latency_rounds=recorder.latency_rounds)
+            cost = node_comm_cost(
+                net, nt, latency_rounds=recorder.latency_rounds, tracer=tr
+            )
             comm_costs[node_id] = cost
             total_msgs += cost.messages
             total_bytes += cost.payload_bytes
@@ -544,8 +573,10 @@ class PpmRuntime:
         # Per-node busy time, then cluster-wide barrier.
         t_end = 0.0
         node_timings = {}
+        node_t0 = {}
         for node in self.cluster:
             node_id = node.node_id
+            node_t0[node_id] = node.clock.now
             compute = node_compute_time(recorder.core_costs.get(node_id, {}))
             nt = traffic.get(node_id)
             commit_cpu = recorder.node_write_elems.get(node_id, 0) * cfg.ppm_commit_per_element
@@ -585,6 +616,32 @@ class PpmRuntime:
                 node_timings=node_timings,
             )
         )
+        if tr is not None:
+            tr.emit(
+                PhaseCommit(
+                    phase=phase_index,
+                    phase_kind="global",
+                    latency_rounds=recorder.latency_rounds,
+                    t=min(node_t0.values()),
+                    t_end=t_end,
+                    messages=total_msgs,
+                    nbytes=total_bytes,
+                    collectives=n_contrib,
+                    nodes=tuple(
+                        NodeSlice(
+                            node=node_id,
+                            t0=node_t0[node_id],
+                            compute=tm.compute,
+                            commit_cpu=tm.commit_cpu,
+                            comm=tm.comm,
+                            overlapped=tm.overlapped,
+                            arrival=node_t0[node_id] + tm.busy,
+                            wait=t_end - (node_t0[node_id] + tm.busy),
+                        )
+                        for node_id, tm in sorted(node_timings.items())
+                    ),
+                )
+            )
         self.cluster.trace.record(
             "ppm_global_phase",
             -1,
@@ -599,16 +656,30 @@ class PpmRuntime:
         latency_rounds = max(
             vp.decl.latency_rounds for vp in node_vps if not vp.done
         )
-        recorder = PhaseRecorder("node", latency_rounds)
+        tr = self.tracer
+        phase_index = self.stats_global_phases + self.stats_node_phases
+        recorder = PhaseRecorder(
+            "node", latency_rounds, tracer=tr, phase_index=phase_index
+        )
+        t0 = self.cluster.node(node_id).clock.now
+        if tr is not None:
+            tr.phase = phase_index
+            tr.emit(
+                PhaseBegin(
+                    phase=phase_index,
+                    phase_kind="node",
+                    latency_rounds=latency_rounds,
+                    vps=sum(1 for vp in node_vps if not vp.done),
+                    nodes=(node_id,),
+                    t=t0,
+                )
+            )
         self._execute_phase_bodies(recorder, node_vps)
 
         if self.sanitizer is not None:
-            self.sanitizer.check_phase(
-                recorder,
-                phase_index=self.stats_global_phases + self.stats_node_phases,
-            )
+            self.sanitizer.check_phase(recorder, phase_index=phase_index)
         recorder.apply_writes()
-        recorder.resolve_collectives()
+        n_contrib = recorder.resolve_collectives()
 
         cfg = self.config
         net = self.cluster.network
@@ -616,10 +687,10 @@ class PpmRuntime:
 
         # Global-shared *reads* are permitted in node phases; their
         # fetch traffic is charged here (writes were rejected earlier).
-        traffic = aggregate_traffic(recorder, self.cluster.n_nodes)
+        traffic = aggregate_traffic(recorder, self.cluster.n_nodes, tracer=tr)
         nt = traffic.get(node_id)
         comm_cost = (
-            node_comm_cost(net, nt, latency_rounds=recorder.latency_rounds)
+            node_comm_cost(net, nt, latency_rounds=recorder.latency_rounds, tracer=tr)
             if nt is not None
             else ZERO_COST
         )
@@ -650,7 +721,7 @@ class PpmRuntime:
                 self.cluster.cores_per_node, cfg.element_bytes, intra_node=True
             )
         else:
-            sync = net.barrier_time(self.cluster.cores_per_node)
+            sync = net.barrier_time(self.cluster.cores_per_node, intra_node=True)
         node.clock.advance(timing.busy + sync)
         for c in node.core_clocks:
             c.merge(node.clock.now)
@@ -665,6 +736,31 @@ class PpmRuntime:
                 node_timings={node_id: timing},
             )
         )
+        if tr is not None:
+            tr.emit(
+                PhaseCommit(
+                    phase=phase_index,
+                    phase_kind="node",
+                    latency_rounds=recorder.latency_rounds,
+                    t=t0,
+                    t_end=node.clock.now,
+                    messages=comm_cost.messages,
+                    nbytes=comm_cost.payload_bytes,
+                    collectives=n_contrib,
+                    nodes=(
+                        NodeSlice(
+                            node=node_id,
+                            t0=t0,
+                            compute=timing.compute,
+                            commit_cpu=timing.commit_cpu,
+                            comm=timing.comm,
+                            overlapped=timing.overlapped,
+                            arrival=t0 + timing.busy,
+                            wait=node.clock.now - (t0 + timing.busy),
+                        ),
+                    ),
+                )
+            )
         self.cluster.trace.record(
             "ppm_node_phase",
             node_id,

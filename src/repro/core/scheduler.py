@@ -16,6 +16,7 @@ from dataclasses import dataclass
 from repro.config import MachineConfig
 from repro.core.bundling import NodeTraffic
 from repro.machine.network import ZERO_COST, BundleCost, NetworkModel
+from repro.obs.events import MessageRecv, MessageSend
 
 
 @dataclass(frozen=True)
@@ -45,6 +46,7 @@ def node_comm_cost(
     traffic: NodeTraffic,
     *,
     latency_rounds: int = 1,
+    tracer=None,
 ) -> BundleCost:
     """Bundled communication cost of one node's phase traffic.
 
@@ -54,12 +56,44 @@ def node_comm_cost(
     chains), while *bandwidth* is serialised through the node's NIC
     (total bytes times beta) and per-message CPU overhead accumulates
     over every bundle.
+
+    With ``tracer`` set, every wire transfer emits a
+    :class:`~repro.obs.events.MessageSend`/`MessageRecv` pair (read
+    requests and write bundles travel node→owner, read replies
+    owner→node).  The runtime passes the tracer only on each node's
+    primary cost call, never on the per-peer owner-overhead
+    recomputations, so each transfer is reported exactly once.
     """
     cfg = network.config
     msgs = 0
     nbytes = 0
     has_reads = False
     has_writes = False
+
+    def record(src: int, dst: int, variable: str, purpose: str, cost: BundleCost) -> None:
+        tracer.emit(
+            MessageSend(
+                phase=tracer.phase,
+                src=src,
+                dst=dst,
+                variable=variable,
+                purpose=purpose,
+                messages=cost.messages,
+                nbytes=cost.payload_bytes,
+            )
+        )
+        tracer.emit(
+            MessageRecv(
+                phase=tracer.phase,
+                src=src,
+                dst=dst,
+                variable=variable,
+                purpose=purpose,
+                messages=cost.messages,
+                nbytes=cost.payload_bytes,
+            )
+        )
+
     for p in traffic.peers:
         if p.read_elems:
             has_reads = True
@@ -69,6 +103,9 @@ def node_comm_cost(
             )
             msgs += req.messages + rep.messages
             nbytes += req.payload_bytes + rep.payload_bytes
+            if tracer is not None:
+                record(traffic.node_id, p.owner, p.shared.name, "read_request", req)
+                record(p.owner, traffic.node_id, p.shared.name, "read_reply", rep)
         if p.write_elems:
             has_writes = True
             wb = network.bundle(
@@ -76,6 +113,8 @@ def node_comm_cost(
             )
             msgs += wb.messages
             nbytes += wb.payload_bytes
+            if tracer is not None:
+                record(traffic.node_id, p.owner, p.shared.name, "write_bundle", wb)
     if msgs == 0:
         return ZERO_COST
     latency_hops = 0

@@ -26,6 +26,7 @@ import math
 from dataclasses import dataclass
 
 from repro.config import MachineConfig
+from repro.obs.events import BarrierWait
 
 
 @dataclass(frozen=True)
@@ -67,10 +68,18 @@ ZERO_COST = BundleCost(messages=0, payload_bytes=0, wire_time=0.0, cpu_time=0.0)
 
 
 class NetworkModel:
-    """Message cost formulas parameterised by a :class:`MachineConfig`."""
+    """Message cost formulas parameterised by a :class:`MachineConfig`.
+
+    ``tracer`` is the observability hook: a traced PPM runtime
+    attaches its :class:`~repro.obs.events.PhaseTrace` here so the
+    phase-closing synchronisation formulas report
+    :class:`~repro.obs.events.BarrierWait` events.  ``None`` (the
+    default) keeps every formula pure.
+    """
 
     def __init__(self, config: MachineConfig) -> None:
         self.config = config
+        self.tracer = None
 
     # ------------------------------------------------------------------
     # Point-to-point
@@ -201,9 +210,27 @@ class NetworkModel:
             raise ValueError("participants must be >= 1")
         return max(1, math.ceil(math.log2(participants))) if participants > 1 else 0
 
-    def barrier_time(self, participants: int) -> float:
-        """Time of a barrier across ``participants`` entities."""
-        return self._tree_depth(participants) * self.config.barrier_alpha
+    def barrier_time(self, participants: int, *, intra_node: bool = False) -> float:
+        """Time of a barrier across ``participants`` entities.
+
+        ``intra_node`` only labels the scope of the emitted
+        :class:`BarrierWait` event when a tracer is attached (a node
+        phase synchronises one node's cores, a global phase the
+        cluster's nodes); the cost formula is scope-independent.
+        """
+        t = self._tree_depth(participants) * self.config.barrier_alpha
+        tr = self.tracer
+        if tr is not None:
+            tr.emit(
+                BarrierWait(
+                    phase=tr.phase,
+                    scope="node" if intra_node else "cluster",
+                    participants=participants,
+                    duration=t,
+                    fused=False,
+                )
+            )
+        return t
 
     def reduce_time(self, participants: int, nbytes: int, intra_node: bool = False) -> float:
         """Time of a binomial-tree reduction of ``nbytes`` payloads."""
@@ -211,8 +238,25 @@ class NetworkModel:
         return depth * self.message_time(nbytes, intra_node)
 
     def allreduce_time(self, participants: int, nbytes: int, intra_node: bool = False) -> float:
-        """Reduce followed by broadcast (2x tree)."""
-        return 2.0 * self.reduce_time(participants, nbytes, intra_node)
+        """Reduce followed by broadcast (2x tree).
+
+        A phase with collectives fuses its reduction into the closing
+        barrier tree, so with a tracer attached this reports the
+        phase's :class:`BarrierWait` with ``fused=True``.
+        """
+        t = 2.0 * self.reduce_time(participants, nbytes, intra_node)
+        tr = self.tracer
+        if tr is not None:
+            tr.emit(
+                BarrierWait(
+                    phase=tr.phase,
+                    scope="node" if intra_node else "cluster",
+                    participants=participants,
+                    duration=t,
+                    fused=True,
+                )
+            )
+        return t
 
     def bcast_time(self, participants: int, nbytes: int, intra_node: bool = False) -> float:
         """Binomial-tree broadcast."""

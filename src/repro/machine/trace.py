@@ -1,17 +1,29 @@
-"""Event tracing and aggregate statistics for simulated runs.
+"""Machine-level aggregate tracing, built on the observability bus.
 
 Benchmarks and EXPERIMENTS.md report not just times but *why* — message
 counts, bytes moved, phase counts — which is how we check that e.g. the
 MPI Barnes-Hut baseline really ships whole trees while PPM ships only
-the touched records.  Recording is cheap (tuples in a list) and can be
-disabled wholesale for large sweeps.
+the touched records.  :class:`Trace` is the cluster's always-available
+coarse log: one :class:`TraceEvent` per runtime-level occurrence, plus
+per-kind message/byte counters that keep accumulating even when event
+storage is disabled for large sweeps.
+
+Since the observability layer (:mod:`repro.obs`) landed, ``Trace`` is a
+thin specialisation of :class:`repro.obs.events.EventBus` — the same
+append/subscribe substrate that powers the structured
+:class:`~repro.obs.events.PhaseTrace`.  The difference is granularity:
+``Trace`` carries untyped per-kind aggregates for benchmark bookkeeping,
+while ``PhaseTrace`` (attached per run via ``run_ppm(..., trace=...)``)
+records typed, per-phase events for reports and timeline export.
 """
 
 from __future__ import annotations
 
 from collections import Counter
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterator
+
+from repro.obs.events import EventBus
 
 
 @dataclass(frozen=True)
@@ -32,14 +44,22 @@ class TraceEvent:
     detail: str = ""
 
 
-@dataclass
-class Trace:
-    """Append-only event log with aggregate counters."""
+class Trace(EventBus):
+    """Append-only event log with aggregate counters.
 
-    enabled: bool = True
-    events: list[TraceEvent] = field(default_factory=list)
-    _messages: Counter = field(default_factory=Counter)
-    _bytes: Counter = field(default_factory=Counter)
+    ``enabled=False`` suppresses event storage (the list would grow
+    unboundedly over a sweep) while the per-kind counters keep
+    accumulating, so ``total_messages``/``total_bytes`` statistics stay
+    available either way.
+    """
+
+    __slots__ = ("enabled", "_messages", "_bytes")
+
+    def __init__(self, enabled: bool = True) -> None:
+        super().__init__()
+        self.enabled = enabled
+        self._messages: Counter = Counter()
+        self._bytes: Counter = Counter()
 
     def record(
         self,
@@ -51,12 +71,12 @@ class Trace:
         nbytes: int = 0,
         detail: str = "",
     ) -> None:
-        """Record one event (no-op when disabled, but counters still
-        accumulate so statistics stay available for big sweeps)."""
+        """Record one event (no event is stored when disabled, but
+        counters still accumulate so statistics stay available)."""
         self._messages[kind] += messages
         self._bytes[kind] += nbytes
         if self.enabled:
-            self.events.append(
+            self.emit(
                 TraceEvent(kind=kind, who=who, t=t, messages=messages, nbytes=nbytes, detail=detail)
             )
 
@@ -79,9 +99,6 @@ class Trace:
 
     def clear(self) -> None:
         """Drop all events and counters."""
-        self.events.clear()
+        super().clear()
         self._messages.clear()
         self._bytes.clear()
-
-    def __len__(self) -> int:
-        return len(self.events)

@@ -1,0 +1,296 @@
+"""The observability event model: typed events and the event bus.
+
+This module is the foundation of :mod:`repro.obs` and deliberately has
+no dependencies on the rest of the package, so every layer — the PPM
+runtime (:mod:`repro.core.runtime`), the per-phase recorder
+(:mod:`repro.core.phase`), the bundling engine
+(:mod:`repro.core.bundling`), the timing composer
+(:mod:`repro.core.scheduler`) and the network model
+(:mod:`repro.machine.network`) — can emit events without import cycles.
+
+Event taxonomy (full field reference in docs/OBSERVABILITY.md):
+
+=================  ====================  ================================
+Event              Emitted from          One per
+=================  ====================  ================================
+`PhaseBegin`       core/runtime.py       phase, before its bodies run
+`VpScheduled`      core/phase.py         VP resumed in a phase round
+`BundleFlushed`    core/bundling.py      (node, variable, direction)
+`MessageSend`      core/scheduler.py     wire transfer leaving a node
+`MessageRecv`      core/scheduler.py     wire transfer arriving at a node
+`BarrierWait`      machine/network.py    phase-closing synchronisation
+`PhaseCommit`      core/runtime.py       phase, after its barrier
+=================  ====================  ================================
+
+Instrumented sites are gated behind a single ``tracer is not None``
+predicate, so the untraced default path pays one pointer test per site
+and nothing else; traced and untraced runs produce bitwise-identical
+committed results and identical simulated times (tested in
+``tests/obs/test_metrics.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, fields
+from typing import ClassVar, Iterator
+
+
+@dataclass(frozen=True)
+class Event:
+    """Base of all observability events; ``phase`` is the 0-based
+    execution index of the phase the event belongs to (global and node
+    phases share one counter, in commit order)."""
+
+    kind: ClassVar[str] = "event"
+
+    phase: int
+
+    def to_dict(self) -> dict:
+        """JSON-ready dict (adds the ``event`` discriminator field)."""
+        d = asdict(self)
+        d["event"] = self.kind
+        return d
+
+
+@dataclass(frozen=True)
+class PhaseBegin(Event):
+    """A phase is about to execute its VP bodies.
+
+    ``t`` is the earliest participating node clock at entry; ``vps``
+    counts the VPs that will be resumed; ``nodes`` lists the
+    participating node ids.
+    """
+
+    kind: ClassVar[str] = "phase_begin"
+
+    phase_kind: str
+    latency_rounds: int
+    vps: int
+    nodes: tuple[int, ...]
+    t: float
+
+
+@dataclass(frozen=True)
+class VpScheduled(Event):
+    """One VP was resumed for one phase round on one core.
+
+    ``cost`` is the simulated CPU seconds its body accrued (work,
+    memory accesses and shared-access software overhead).
+    """
+
+    kind: ClassVar[str] = "vp_scheduled"
+
+    node: int
+    core: int
+    vp: int
+    cost: float
+
+
+@dataclass(frozen=True)
+class BundleFlushed(Event):
+    """The commit-time bundling engine aggregated one node's recorded
+    fine-grained accesses to one shared variable in one direction.
+
+    ``raw_ops`` counts the fine-grained access calls; ``raw_elems``
+    the elements they addressed (with repetition); ``unique_elems``
+    the deduplicated footprint the runtime actually moves, split into
+    ``local_elems`` (owner-local, no wire traffic) and
+    ``remote_elems`` across ``peers`` owning nodes.  ``remote_elems``
+    is exactly the wire-message count a bundling-disabled runtime
+    would pay (one message per element), so
+    ``remote_elems / bundled messages`` is the phase's bundling ratio.
+    """
+
+    kind: ClassVar[str] = "bundle_flushed"
+
+    node: int
+    variable: str
+    direction: str  # "read" | "write"
+    raw_ops: int
+    raw_elems: int
+    unique_elems: int
+    local_elems: int
+    remote_elems: int
+    peers: int
+
+
+@dataclass(frozen=True)
+class MessageSend(Event):
+    """A bundled wire transfer left node ``src`` toward node ``dst``.
+
+    ``purpose`` is ``read_request`` (index bundle), ``read_reply``
+    (dense data bundle) or ``write_bundle`` (indexed data bundle).
+    Every ``MessageSend`` is paired with a ``MessageRecv`` carrying
+    identical counts, so per-phase bytes are conserved by
+    construction — an invariant the schema tests pin down.
+    """
+
+    kind: ClassVar[str] = "message_send"
+
+    src: int
+    dst: int
+    variable: str
+    purpose: str
+    messages: int
+    nbytes: int
+
+
+@dataclass(frozen=True)
+class MessageRecv(Event):
+    """The receiving half of a :class:`MessageSend` (same fields)."""
+
+    kind: ClassVar[str] = "message_recv"
+
+    src: int
+    dst: int
+    variable: str
+    purpose: str
+    messages: int
+    nbytes: int
+
+
+@dataclass(frozen=True)
+class BarrierWait(Event):
+    """The phase-closing synchronisation was charged.
+
+    ``scope`` is ``cluster`` (global phase: all nodes) or ``node``
+    (node phase: one node's cores); ``fused`` is true when the phase
+    carried collectives and the reduction was fused into the barrier
+    tree (an allreduce sweep instead of a plain barrier).
+    Per-node wait times live in :class:`PhaseCommit` node slices.
+    """
+
+    kind: ClassVar[str] = "barrier_wait"
+
+    scope: str
+    participants: int
+    duration: float
+    fused: bool
+
+
+@dataclass(frozen=True)
+class NodeSlice:
+    """One node's timing slice of one committed phase (nested inside
+    :class:`PhaseCommit`).  ``arrival = t0 + busy`` is when the node
+    reached the barrier; ``wait = t_end - arrival`` its barrier wait
+    (synchronisation cost included); the spread of arrivals across
+    nodes is the phase's barrier skew."""
+
+    node: int
+    t0: float
+    compute: float
+    commit_cpu: float
+    comm: float
+    overlapped: float
+    arrival: float
+    wait: float
+
+
+@dataclass(frozen=True)
+class PhaseCommit(Event):
+    """A phase committed: writes applied, collectives resolved,
+    clocks merged to ``t_end``.  ``messages``/``nbytes`` are the
+    bundled wire totals of the phase; ``nodes`` carries one
+    :class:`NodeSlice` per cluster node."""
+
+    kind: ClassVar[str] = "phase_commit"
+
+    phase_kind: str
+    latency_rounds: int
+    t: float
+    t_end: float
+    messages: int
+    nbytes: int
+    collectives: int
+    nodes: tuple[NodeSlice, ...]
+
+
+#: Registry used by the trace-file loader (docs/OBSERVABILITY.md has
+#: the on-disk schema).
+EVENT_TYPES: dict[str, type[Event]] = {
+    cls.kind: cls
+    for cls in (
+        PhaseBegin,
+        VpScheduled,
+        BundleFlushed,
+        MessageSend,
+        MessageRecv,
+        BarrierWait,
+        PhaseCommit,
+    )
+}
+
+
+def event_from_dict(d: dict) -> Event:
+    """Reconstruct a typed event from its :meth:`Event.to_dict` form."""
+    try:
+        cls = EVENT_TYPES[d["event"]]
+    except KeyError:
+        raise ValueError(f"unknown event kind {d.get('event')!r}") from None
+    kwargs = {k: v for k, v in d.items() if k != "event"}
+    if cls is PhaseCommit:
+        kwargs["nodes"] = tuple(NodeSlice(**ns) for ns in kwargs.get("nodes", ()))
+    else:
+        for f in fields(cls):
+            if f.name in kwargs and isinstance(kwargs[f.name], list):
+                kwargs[f.name] = tuple(kwargs[f.name])
+    return cls(**kwargs)
+
+
+class EventBus:
+    """Append-only event sink with optional subscribers.
+
+    The machine layer's legacy :class:`repro.machine.trace.Trace` and
+    the observability :class:`PhaseTrace` are both built on this bus.
+    """
+
+    __slots__ = ("events", "_subscribers")
+
+    def __init__(self) -> None:
+        self.events: list = []
+        self._subscribers: list = []
+
+    def emit(self, event) -> None:
+        """Append one event and notify subscribers."""
+        self.events.append(event)
+        for sub in self._subscribers:
+            sub(event)
+
+    def subscribe(self, callback) -> None:
+        """Call ``callback(event)`` on every subsequent emit."""
+        self._subscribers.append(callback)
+
+    def clear(self) -> None:
+        """Drop all recorded events (subscribers stay)."""
+        self.events.clear()
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator:
+        return iter(self.events)
+
+
+class PhaseTrace(EventBus):
+    """The event bus of one traced PPM run.
+
+    Created by ``run_ppm(..., trace=True)`` (or pass an instance to
+    share it across runs).  ``phase`` is the index of the phase
+    currently executing — the runtime advances it at every
+    :class:`PhaseBegin`, and lower-layer emitters (bundling, timing,
+    network) stamp their events with it.
+    """
+
+    __slots__ = ("phase",)
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.phase = -1
+
+    def by_kind(self, kind: str) -> Iterator[Event]:
+        """Iterate events of one kind (e.g. ``"phase_commit"``)."""
+        return (e for e in self.events if e.kind == kind)
+
+    def phases(self) -> list[int]:
+        """Sorted phase indices present in the trace."""
+        return sorted({e.phase for e in self.events})

@@ -1,0 +1,246 @@
+"""Per-phase metrics aggregation: events in, :class:`RunReport` out.
+
+Metric definitions (the formulas are normative; docs/OBSERVABILITY.md
+restates them with worked examples):
+
+* **vp_work** — sum of :class:`~repro.obs.events.VpScheduled` costs:
+  total simulated CPU seconds spent inside VP bodies.
+* **bytes_moved** — sum of ``MessageSend.nbytes`` (equal to the
+  ``MessageRecv`` sum by construction; the report validates this).
+* **messages** — bundled wire messages (sum of
+  ``MessageSend.messages``).
+* **unbundled_messages** — sum of ``BundleFlushed.remote_elems``: the
+  wire messages the same phase would issue with
+  ``MachineConfig(bundling=False)`` (one message per deduplicated
+  remote element).
+* **bundling_ratio** — ``unbundled_messages / messages`` (``None``
+  when the phase moved nothing).
+* **overlap_fraction** — ``sum(overlapped) / sum(comm)`` over the
+  phase's node slices: the fraction of communication time hidden
+  under computation.  In ``[0, 1]`` because the runtime never
+  overlaps more than the communication it has
+  (:func:`repro.core.scheduler.compose_phase_timing`).
+* **barrier_skew** — ``max(arrival) - min(arrival)`` over nodes that
+  did work in the phase: how unevenly the nodes reached the barrier.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.obs.events import (
+    BarrierWait,
+    BundleFlushed,
+    Event,
+    MessageRecv,
+    MessageSend,
+    PhaseBegin,
+    PhaseCommit,
+    VpScheduled,
+)
+
+
+@dataclass(frozen=True)
+class PhaseReport:
+    """Aggregated metrics of one committed phase."""
+
+    phase: int
+    kind: str
+    t_begin: float
+    t_end: float
+    vp_count: int
+    vp_work: float
+    compute: float  # critical-path (max-over-nodes) compute seconds
+    commit_cpu: float
+    comm: float
+    overlapped: float
+    access_ops: int
+    raw_elems: int
+    unbundled_messages: int
+    messages: int
+    bytes_moved: float
+    barrier_skew: float
+    barrier_cost: float
+    collectives: int
+
+    @property
+    def duration(self) -> float:
+        """Simulated seconds from phase entry to barrier exit."""
+        return self.t_end - self.t_begin
+
+    @property
+    def overlap_fraction(self) -> float:
+        """Fraction of communication hidden under computation."""
+        return self.overlapped / self.comm if self.comm > 0 else 0.0
+
+    @property
+    def bundling_ratio(self) -> float | None:
+        """Unbundled over bundled message count (None without traffic)."""
+        if self.messages == 0:
+            return None
+        return self.unbundled_messages / self.messages
+
+
+@dataclass(frozen=True)
+class RunReport:
+    """Run-level metrics report: one :class:`PhaseReport` per
+    committed phase plus whole-run aggregates.
+
+    Build with :meth:`from_trace`; render with
+    :func:`repro.obs.export.format_report` or ``python -m repro.obs
+    report <trace.json>``.
+    """
+
+    phases: tuple[PhaseReport, ...]
+
+    # -- construction --------------------------------------------------
+    @classmethod
+    def from_events(cls, events: list[Event]) -> "RunReport":
+        """Aggregate a flat event list into per-phase reports.
+
+        Only phases with a :class:`PhaseCommit` appear (a run aborted
+        mid-phase contributes its completed phases only).
+        """
+        begins: dict[int, PhaseBegin] = {}
+        commits: dict[int, PhaseCommit] = {}
+        acc: dict[int, dict] = {}
+
+        def bucket(phase: int) -> dict:
+            if phase not in acc:
+                acc[phase] = {
+                    "vp_count": 0,
+                    "vp_work": 0.0,
+                    "access_ops": 0,
+                    "raw_elems": 0,
+                    "unbundled": 0,
+                    "sent_msgs": 0,
+                    "sent_bytes": 0,
+                    "recv_bytes": 0,
+                    "barrier_cost": 0.0,
+                }
+            return acc[phase]
+
+        for ev in events:
+            if isinstance(ev, PhaseBegin):
+                begins[ev.phase] = ev
+            elif isinstance(ev, PhaseCommit):
+                commits[ev.phase] = ev
+            elif isinstance(ev, VpScheduled):
+                b = bucket(ev.phase)
+                b["vp_count"] += 1
+                b["vp_work"] += ev.cost
+            elif isinstance(ev, BundleFlushed):
+                b = bucket(ev.phase)
+                b["access_ops"] += ev.raw_ops
+                b["raw_elems"] += ev.raw_elems
+                b["unbundled"] += ev.remote_elems
+            elif isinstance(ev, MessageSend):
+                b = bucket(ev.phase)
+                b["sent_msgs"] += ev.messages
+                b["sent_bytes"] += ev.nbytes
+            elif isinstance(ev, MessageRecv):
+                bucket(ev.phase)["recv_bytes"] += ev.nbytes
+            elif isinstance(ev, BarrierWait):
+                bucket(ev.phase)["barrier_cost"] += ev.duration
+
+        reports = []
+        for phase in sorted(commits):
+            commit = commits[phase]
+            b = bucket(phase)
+            if b["sent_bytes"] != b["recv_bytes"]:
+                raise ValueError(
+                    f"phase {phase}: trace violates byte conservation "
+                    f"(sent {b['sent_bytes']} != received {b['recv_bytes']})"
+                )
+            # Nodes that did any work this phase; arrivals of idle
+            # nodes (zero busy time) would understate the real skew.
+            active = [
+                ns
+                for ns in commit.nodes
+                if ns.compute or ns.comm or ns.commit_cpu
+            ]
+            arrivals = [ns.arrival for ns in (active or commit.nodes)]
+            begin = begins.get(phase)
+            reports.append(
+                PhaseReport(
+                    phase=phase,
+                    kind=commit.phase_kind,
+                    t_begin=begin.t if begin is not None else commit.t,
+                    t_end=commit.t_end,
+                    vp_count=b["vp_count"],
+                    vp_work=b["vp_work"],
+                    compute=max((ns.compute for ns in commit.nodes), default=0.0),
+                    commit_cpu=sum(ns.commit_cpu for ns in commit.nodes),
+                    comm=sum(ns.comm for ns in commit.nodes),
+                    overlapped=sum(ns.overlapped for ns in commit.nodes),
+                    access_ops=b["access_ops"],
+                    raw_elems=b["raw_elems"],
+                    unbundled_messages=b["unbundled"],
+                    messages=b["sent_msgs"],
+                    bytes_moved=float(b["sent_bytes"]),
+                    barrier_skew=max(arrivals) - min(arrivals) if arrivals else 0.0,
+                    barrier_cost=b["barrier_cost"],
+                    collectives=commit.collectives,
+                )
+            )
+        return cls(phases=tuple(reports))
+
+    @classmethod
+    def from_trace(cls, trace) -> "RunReport":
+        """Aggregate a :class:`~repro.obs.events.PhaseTrace`."""
+        return cls.from_events(list(trace.events))
+
+    # -- run-level aggregates ------------------------------------------
+    @property
+    def elapsed(self) -> float:
+        """Simulated end time of the last committed phase."""
+        return max((p.t_end for p in self.phases), default=0.0)
+
+    @property
+    def total_vp_work(self) -> float:
+        return sum(p.vp_work for p in self.phases)
+
+    @property
+    def total_messages(self) -> int:
+        """Bundled wire messages across the run."""
+        return sum(p.messages for p in self.phases)
+
+    @property
+    def total_bytes(self) -> float:
+        return sum(p.bytes_moved for p in self.phases)
+
+    @property
+    def access_ops(self) -> int:
+        """Fine-grained shared-access calls recorded at commits."""
+        return sum(p.access_ops for p in self.phases)
+
+    @property
+    def unbundled_messages(self) -> int:
+        """Wire messages a bundling-disabled runtime would have paid."""
+        return sum(p.unbundled_messages for p in self.phases)
+
+    @property
+    def bundling_ratio(self) -> float | None:
+        """Run-level unbundled/bundled message ratio."""
+        if self.total_messages == 0:
+            return None
+        return self.unbundled_messages / self.total_messages
+
+    @property
+    def overlap_fraction(self) -> float:
+        """Comm-weighted overlap fraction across all phases."""
+        comm = sum(p.comm for p in self.phases)
+        if comm <= 0:
+            return 0.0
+        return sum(p.overlapped for p in self.phases) / comm
+
+    @property
+    def max_barrier_skew(self) -> float:
+        return max((p.barrier_skew for p in self.phases), default=0.0)
+
+    def phase(self, index: int) -> PhaseReport:
+        """Fetch one phase report by execution index."""
+        for p in self.phases:
+            if p.phase == index:
+                return p
+        raise KeyError(f"no committed phase with index {index}")

@@ -1,0 +1,93 @@
+"""Documentation stays honest.
+
+Three guarantees:
+
+* every intra-repo markdown link (and ``#anchor`` fragment) in the
+  user-facing documents resolves (``tools/check_docs.py --links``);
+* every fenced ```python block in README.md and docs/OBSERVABILITY.md
+  executes, sequentially per document (``tools/check_docs.py --exec``);
+* the EXPERIMENTS.md command-reference table names exactly the
+  experiments the ``repro.bench`` CLI exposes — no stale rows, no
+  undocumented experiments.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+def _load_check_docs():
+    spec = importlib.util.spec_from_file_location(
+        "check_docs", REPO / "tools" / "check_docs.py"
+    )
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+    return mod
+
+
+check_docs = _load_check_docs()
+
+
+def test_intra_repo_links_resolve():
+    problems = check_docs.check_links(check_docs.LINK_DOCS)
+    assert problems == []
+
+
+def test_doc_python_examples_execute():
+    # Subprocess: the examples mutate module state (numpy seeds, sys
+    # modules) and must not leak into this test session.
+    proc = subprocess.run(
+        [sys.executable, str(REPO / "tools" / "check_docs.py"), "--exec"],
+        capture_output=True,
+        text=True,
+        cwd=REPO,
+    )
+    assert proc.returncode == 0, proc.stderr
+
+
+def _bench_cli_names() -> set[str]:
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.bench", "--list"],
+        capture_output=True,
+        text=True,
+        cwd=REPO,
+    )
+    assert proc.returncode == 0, proc.stderr
+    return {line.strip() for line in proc.stdout.splitlines() if line.strip()}
+
+
+def _documented_cli_names() -> set[str]:
+    """Experiment names used as ``python -m repro.bench <name>`` in the
+    EXPERIMENTS.md command-reference table."""
+    text = (REPO / "EXPERIMENTS.md").read_text()
+    return set(re.findall(r"python -m repro\.bench (?!--)(\S+)`", text))
+
+
+def test_experiments_table_matches_bench_cli():
+    documented = _documented_cli_names()
+    actual = _bench_cli_names()
+    assert documented == actual, (
+        f"EXPERIMENTS.md command table out of sync with "
+        f"`python -m repro.bench --list`: "
+        f"stale rows {sorted(documented - actual)}, "
+        f"undocumented experiments {sorted(actual - documented)}"
+    )
+
+
+def test_bench_cli_spot_run():
+    # The cheapest real experiment proves the documented command shape
+    # (`python -m repro.bench <name>`) actually runs.
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.bench", "table1"],
+        capture_output=True,
+        text=True,
+        cwd=REPO,
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert "table1" in proc.stdout or proc.stdout.strip()

@@ -1,0 +1,213 @@
+#!/usr/bin/env python
+"""Documentation CI: intra-repo link checking and example execution.
+
+Two passes, both offline:
+
+1. **Links** — every relative markdown link in the checked documents
+   must resolve to a file in the repository, and a ``#fragment`` must
+   match a heading anchor (GitHub slug rules) or explicit HTML anchor
+   in the target document.  External (``http(s)://``, ``mailto:``)
+   links are ignored.
+2. **Examples** — fenced ```python blocks in README.md and
+   docs/OBSERVABILITY.md are executed *sequentially in one namespace
+   per file* (so later blocks may use names defined by earlier ones),
+   exactly as a reader following the document would.  A block preceded
+   by an HTML comment containing ``doctest: skip`` is not executed.
+
+Usage::
+
+    python tools/check_docs.py            # both passes
+    python tools/check_docs.py --links    # links only
+    python tools/check_docs.py --exec     # examples only
+
+Exit status: 0 when clean, 1 on any broken link or failing example.
+"""
+
+from __future__ import annotations
+
+import argparse
+import contextlib
+import io
+import re
+import sys
+import traceback
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+#: Documents whose links are checked.
+LINK_DOCS = [
+    "README.md",
+    "DESIGN.md",
+    "EXPERIMENTS.md",
+    "docs/ARCHITECTURE.md",
+    "docs/OBSERVABILITY.md",
+    "docs/DIAGNOSTICS.md",
+    "docs/SEMANTICS.md",
+    "docs/COST_MODEL.md",
+]
+
+#: Documents whose ```python blocks are executed.
+EXEC_DOCS = ["README.md", "docs/OBSERVABILITY.md"]
+
+_LINK_RE = re.compile(r"(?<!!)\[[^\]]+\]\(([^)\s]+)\)")
+_FENCE_RE = re.compile(r"^```(\w*)\s*$")
+_ANCHOR_RE = re.compile(r"<a\s+(?:id|name)=[\"']([^\"']+)[\"']")
+_SKIP_RE = re.compile(r"<!--.*doctest:\s*skip.*-->")
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug for a markdown heading."""
+    text = re.sub(r"`([^`]*)`", r"\1", heading.strip())
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)  # keep link text
+    text = text.lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def anchors_of(path: Path) -> set[str]:
+    """All link fragments resolvable inside one markdown file."""
+    found: set[str] = set()
+    counts: dict[str, int] = {}
+    in_fence = False
+    for line in path.read_text().splitlines():
+        if _FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        m = re.match(r"^(#{1,6})\s+(.*)$", line)
+        if m:
+            slug = github_slug(m.group(2))
+            n = counts.get(slug, 0)
+            counts[slug] = n + 1
+            found.add(slug if n == 0 else f"{slug}-{n}")
+        for a in _ANCHOR_RE.findall(line):
+            found.add(a)
+    return found
+
+
+def check_links(docs: list[str]) -> list[str]:
+    """Return a list of broken-link descriptions (empty when clean)."""
+    problems: list[str] = []
+    for doc in docs:
+        doc_path = REPO / doc
+        if not doc_path.exists():
+            problems.append(f"{doc}: checked document does not exist")
+            continue
+        in_fence = False
+        for lineno, line in enumerate(doc_path.read_text().splitlines(), 1):
+            if _FENCE_RE.match(line):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            for target in _LINK_RE.findall(line):
+                if target.startswith(("http://", "https://", "mailto:")):
+                    continue
+                if target.startswith("#"):
+                    file_part, fragment = "", target[1:]
+                else:
+                    file_part, _, fragment = target.partition("#")
+                dest = (
+                    doc_path
+                    if not file_part
+                    else (doc_path.parent / file_part).resolve()
+                )
+                if not dest.exists():
+                    problems.append(
+                        f"{doc}:{lineno}: broken link {target!r} "
+                        f"(no such file {file_part!r})"
+                    )
+                    continue
+                if fragment and dest.suffix == ".md":
+                    if fragment not in anchors_of(dest):
+                        problems.append(
+                            f"{doc}:{lineno}: broken anchor {target!r} "
+                            f"(no heading slugs to {fragment!r} in "
+                            f"{dest.relative_to(REPO)})"
+                        )
+    return problems
+
+
+def python_blocks(path: Path) -> list[tuple[int, str, bool]]:
+    """(start line, source, skipped) for each ```python block."""
+    blocks: list[tuple[int, str, bool]] = []
+    lines = path.read_text().splitlines()
+    i = 0
+    skip_next = False
+    while i < len(lines):
+        if _SKIP_RE.search(lines[i]):
+            skip_next = True
+            i += 1
+            continue
+        m = _FENCE_RE.match(lines[i])
+        if m:
+            lang, start = m.group(1), i + 1
+            body: list[str] = []
+            i += 1
+            while i < len(lines) and not _FENCE_RE.match(lines[i]):
+                body.append(lines[i])
+                i += 1
+            if lang == "python":
+                blocks.append((start + 1, "\n".join(body), skip_next))
+            skip_next = False
+        elif lines[i].strip():
+            skip_next = False
+        i += 1
+    return blocks
+
+
+def run_examples(docs: list[str]) -> list[str]:
+    """Execute each document's python blocks; return failures."""
+    sys.path.insert(0, str(REPO / "src"))
+    problems: list[str] = []
+    for doc in docs:
+        doc_path = REPO / doc
+        namespace: dict = {"__name__": f"doctest_{doc_path.stem}"}
+        for lineno, source, skipped in python_blocks(doc_path):
+            if skipped:
+                continue
+            stdout = io.StringIO()
+            try:
+                code = compile(source, f"{doc}:{lineno}", "exec")
+                with contextlib.redirect_stdout(stdout):
+                    exec(code, namespace)
+            except Exception:
+                problems.append(
+                    f"{doc}:{lineno}: example block failed\n"
+                    + traceback.format_exc(limit=3)
+                    + (f"--- captured stdout ---\n{stdout.getvalue()}"
+                       if stdout.getvalue() else "")
+                )
+    return problems
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--links", action="store_true", help="links only")
+    parser.add_argument("--exec", action="store_true", help="examples only")
+    args = parser.parse_args(argv)
+    do_links = args.links or not args.exec
+    do_exec = args.exec or not args.links
+
+    problems: list[str] = []
+    if do_links:
+        problems += check_links(LINK_DOCS)
+    if do_exec:
+        problems += run_examples(EXEC_DOCS)
+
+    for p in problems:
+        print(p, file=sys.stderr)
+    if not problems:
+        checked = []
+        if do_links:
+            checked.append(f"links in {len(LINK_DOCS)} documents")
+        if do_exec:
+            checked.append(f"examples in {len(EXEC_DOCS)} documents")
+        print(f"docs OK ({'; '.join(checked)})")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
