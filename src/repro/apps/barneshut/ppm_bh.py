@@ -63,7 +63,8 @@ def _bh_kernel(ctx, POSM, VEL, ACC, TREE, PERM, steps, dt, theta, eps, leaf_size
 
         yield ctx.global_phase
         # Integration phase: kick + drift over the VP's own particles.
-        pm = POSM[lo:hi]
+        # Snapshot reads are read-only views; copy before mutating.
+        pm = POSM[lo:hi].copy()
         vel = VEL[lo:hi] + dt * ACC[lo:hi]
         pm[:, 0:3] += dt * vel
         VEL[lo:hi] = vel
@@ -84,6 +85,7 @@ def ppm_bh_simulate(
     leaf_size: int = 16,
     vp_per_core: int = 2,
     trace=None,
+    hot_path: str = "fast",
 ) -> tuple[np.ndarray, np.ndarray, float]:
     """Run the PPM Barnes-Hut on the cluster.
 
@@ -108,5 +110,5 @@ def ppm_bh_simulate(
         )
         return POSM.committed, VEL.committed
 
-    ppm, (posm, vel_out) = run_ppm(main, cluster, trace=trace)
+    ppm, (posm, vel_out) = run_ppm(main, cluster, trace=trace, hot_path=hot_path)
     return posm[:, 0:3], vel_out, ppm.elapsed

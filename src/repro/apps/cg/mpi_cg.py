@@ -20,7 +20,7 @@ import scipy.sparse as sp
 
 from repro.apps.cg.problem import CgProblem
 from repro.apps.cg.serial_cg import CgResult
-from repro.apps.common import split_range
+from repro.apps.common import csr_matvec, split_range
 from repro.machine import Cluster
 from repro.mpi import run_mpi
 
@@ -157,7 +157,7 @@ def _cg_rank(comm, problem: CgProblem, plans, b_norm, max_iters, tol):
         # Halo exchange, then local sparse matvec.
         p_full[plan.own_pos] = p
         _exchange_halo(comm, plan, p, p_full)
-        q = plan.Ac @ p_full
+        q = csr_matvec(plan.Ac, p_full)
         comm.work(2 * plan.Ac.nnz)
 
         pq = comm.allreduce(float(p @ q), op="sum")

@@ -25,7 +25,7 @@ import scipy.sparse as sp
 
 from repro.apps.cg.problem import CgProblem
 from repro.apps.cg.serial_cg import CgResult
-from repro.apps.common import split_range
+from repro.apps.common import csr_matvec, split_range
 from repro.core import ppm_function, run_ppm
 from repro.machine import Cluster
 
@@ -44,6 +44,9 @@ def _cg_kernel(ctx, A, xs, rs, ps, qs, stats, b_norm, max_iters, tol):
         shape=(hi - lo, cols.size),
     )
     m = hi - lo
+    # Positions of this VP's own rows inside its column footprint —
+    # static, so hoisted out of the iteration loop.
+    own = np.searchsorted(cols, np.arange(lo, hi))
 
     yield ctx.global_phase
     r_chunk = rs[lo:hi]
@@ -56,9 +59,9 @@ def _cg_kernel(ctx, A, xs, rs, ps, qs, stats, b_norm, max_iters, tol):
         if rz is None:
             rz = h_rz.value
         p_needed = ps[cols]
-        q_chunk = Ac @ p_needed
+        q_chunk = csr_matvec(Ac, p_needed)
         qs[lo:hi] = q_chunk
-        p_chunk = p_needed[np.searchsorted(cols, np.arange(lo, hi))]
+        p_chunk = p_needed[own]
         h_pq = ctx.reduce(float(p_chunk @ q_chunk), "sum")
         ctx.work(2 * Ac.nnz + 2 * m)
 
@@ -97,6 +100,7 @@ def ppm_cg_solve(
     tol: float = 1e-8,
     vp_per_core: int = 2,
     trace=None,
+    hot_path: str = "fast",
 ) -> tuple[CgResult, float]:
     """Solve the problem with the PPM CG on the given cluster.
 
@@ -121,7 +125,7 @@ def ppm_cg_solve(
         ppm.do(k, _cg_kernel, problem.A, xs, rs, ps, qs, stats, b_norm, max_iters, tol)
         return xs.committed, stats.committed
 
-    ppm, (x, stats) = run_ppm(main, cluster, trace=trace)
+    ppm, (x, stats) = run_ppm(main, cluster, trace=trace, hot_path=hot_path)
     result = CgResult(
         x=x,
         iterations=int(stats[1]),

@@ -49,6 +49,7 @@ def ppm_bfs(
     *,
     vp_per_core: int = 2,
     trace=None,
+    hot_path: str = "fast",
 ) -> tuple[np.ndarray, float]:
     """Run the PPM BFS; returns distances and the simulated time."""
 
@@ -60,5 +61,5 @@ def ppm_bfs(
         ppm.do(k, _bfs_kernel, graph, DIST)
         return DIST.committed
 
-    ppm, dist = run_ppm(main, cluster, trace=trace)
+    ppm, dist = run_ppm(main, cluster, trace=trace, hot_path=hot_path)
     return dist, ppm.elapsed

@@ -86,6 +86,7 @@ def ppm_mg_solve(
     nu2: int = 2,
     vp_per_core: int = 2,
     trace=None,
+    hot_path: str = "fast",
 ) -> tuple[np.ndarray, float]:
     """Run the PPM V-cycles; returns the finest iterate and the
     simulated time."""
@@ -101,5 +102,5 @@ def ppm_mg_solve(
         ppm.do(k, _mg_kernel, problem, U, F, R, cycles, nu1, nu2)
         return U[0].committed
 
-    ppm, u = run_ppm(main, cluster, trace=trace)
+    ppm, u = run_ppm(main, cluster, trace=trace, hot_path=hot_path)
     return u, ppm.elapsed

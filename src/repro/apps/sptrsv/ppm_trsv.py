@@ -63,6 +63,7 @@ def ppm_trsv(
     *,
     vp_per_core: int = 2,
     trace=None,
+    hot_path: str = "fast",
 ) -> tuple[np.ndarray, float]:
     """Solve with PPM on the cluster; returns x and simulated time."""
 
@@ -73,5 +74,5 @@ def ppm_trsv(
         ppm.do(k, _trsv_kernel, problem, X)
         return X.committed
 
-    ppm, x = run_ppm(main, cluster, trace=trace)
+    ppm, x = run_ppm(main, cluster, trace=trace, hot_path=hot_path)
     return x, ppm.elapsed

@@ -31,6 +31,7 @@ from repro.bench.figures import (
 )
 from repro.bench.obs_traffic import obs_cg_traffic
 from repro.bench.report import render_chart, save_result
+from repro.bench.wallclock import wallclock
 
 EXPERIMENTS: dict[str, Callable] = {
     "fig1": fig1_cg,
@@ -46,6 +47,7 @@ EXPERIMENTS: dict[str, Callable] = {
     "ext_trsv": ext_trsv,
     "ext_multigrid": ext_multigrid,
     "obs_cg": obs_cg_traffic,
+    "wallclock": wallclock,
 }
 
 

@@ -68,6 +68,90 @@ def _owner_counts(shared: GlobalShared, rows: np.ndarray, n_nodes: int) -> np.nd
     return np.bincount(owners, minlength=n_nodes) * shared._trailing
 
 
+def _spec_owner_counts(
+    shared: GlobalShared, specs: list[RowSpec], n_nodes: int
+) -> np.ndarray:
+    """Unique-element count per owning node for the union of ``specs``.
+
+    When every spec is a plain contiguous range — the overwhelmingly
+    common case for block-partitioned VP loops — the union is computed
+    as a merged interval set clipped against the block-partition
+    boundaries, with nothing materialised.  Each merged interval's
+    per-owner overlap length equals the number of unique rows
+    ``np.unique`` + ``bincount`` would attribute to that owner, so the
+    counts are identical to the materialising path (which remains the
+    fallback for strided and fancy-index specs).
+    """
+    if not all(s.is_contiguous for s in specs):
+        return _owner_counts(shared, _unique_rows(specs), n_nodes)
+    ivs = sorted((s.start, s.stop) for s in specs if s.stop > s.start)
+    counts = np.zeros(n_nodes, dtype=np.int64)
+    if not ivs:
+        return counts
+    starts = shared._starts
+    merged: list[tuple[int, int]] = []
+    cur_lo, cur_hi = ivs[0]
+    for lo, hi in ivs[1:]:
+        if lo <= cur_hi:
+            cur_hi = max(cur_hi, hi)
+        else:
+            merged.append((cur_lo, cur_hi))
+            cur_lo, cur_hi = lo, hi
+    merged.append((cur_lo, cur_hi))
+    for lo, hi in merged:
+        # Owners of the first and last row of the interval (the same
+        # side="right" rule as GlobalShared.owner_of, so zero-width
+        # partitions resolve identically).
+        o0 = int(np.searchsorted(starts, lo, side="right")) - 1
+        o1 = int(np.searchsorted(starts, hi - 1, side="right")) - 1
+        for o in range(o0, o1 + 1):
+            a = max(lo, int(starts[o]))
+            b = min(hi, int(starts[o + 1]))
+            counts[o] += b - a
+    return counts * shared._trailing
+
+
+def _owner_elem_pairs(
+    shared: GlobalShared, specs: list[RowSpec], n_nodes: int, exact_elems: int
+) -> tuple[tuple[int, int], ...]:
+    """``(owner, elems)`` pairs for the union of ``specs``, memoised.
+
+    ``elems`` is the owner's unique-row count scaled by the access
+    density (tuple indices may address only part of each row; the
+    exact per-access element totals tell us by how much), floored at
+    one element per touched owner — exactly what
+    :func:`aggregate_traffic` previously computed inline per phase.
+
+    On the fast hot path, access records (and hence their
+    :class:`RowSpec` objects) are cached per index expression, so an
+    iterative solver presents the *same* spec objects phase after
+    phase; the whole owner split is then a dictionary hit.  Keyed by
+    spec object identities plus the exact element total; the memo
+    value pins the spec objects, so a key's ids can never be recycled
+    while the entry lives.  Legacy mode builds fresh specs every
+    access and bypasses the memo entirely.
+    """
+    fast = shared.runtime.zero_copy_reads
+    if fast:
+        cache = shared._counts_cache
+        key = (tuple(map(id, specs)), exact_elems)
+        hit = cache.get(key)
+        if hit is not None:
+            return hit[1]
+    counts = _spec_owner_counts(shared, specs, n_nodes)
+    raw = sum(s.count for s in specs) * shared._trailing
+    scale = 1.0 if raw <= 0 else min(1.0, exact_elems / raw)
+    pairs = tuple(
+        (int(o), max(1, int(round(counts[o] * scale))))
+        for o in np.nonzero(counts)[0]
+    )
+    if fast:
+        if len(cache) >= 4096:
+            cache.clear()
+        cache[key] = (list(specs), pairs)
+    return pairs
+
+
 def aggregate_traffic(
     recorder: PhaseRecorder, n_nodes: int, *, tracer=None
 ) -> dict[int, NodeTraffic]:
@@ -87,85 +171,70 @@ def aggregate_traffic(
             traffic[node_id] = NodeTraffic(node_id)
         return traffic[node_id]
 
+    peer_map: dict[tuple[int, int, int], PeerTraffic] = {}
+
     def peer_entry(nt: NodeTraffic, shared: GlobalShared, owner: int) -> PeerTraffic:
-        for p in nt.peers:
-            if p.shared is shared and p.owner == owner:
-                return p
-        p = PeerTraffic(shared=shared, owner=owner)
-        nt.peers.append(p)
+        key = (nt.node_id, id(shared), owner)
+        p = peer_map.get(key)
+        if p is None:
+            p = peer_map[key] = PeerTraffic(shared=shared, owner=owner)
+            nt.peers.append(p)
         return p
 
-    def density(specs: list[RowSpec], shared: GlobalShared, exact_elems: int) -> float:
-        """Fraction of each touched row actually moved: tuple indices
-        may address only part of a row, and the exact per-access
-        element counts tell us by how much."""
-        raw = sum(s.count for s in specs) * shared._trailing
-        if raw <= 0:
-            return 1.0
-        return min(1.0, exact_elems / raw)
-
-    for node_id, shared_map in recorder.global_reads.items():
+    for (node_id, shared), (specs, exact_elems) in recorder.global_read_recs.items():
         nt = entry(node_id)
-        for shared, specs in shared_map.items():
-            counts = _owner_counts(shared, _unique_rows(specs), n_nodes)
-            scale = density(specs, shared, recorder.global_read_elems[node_id][shared])
-            local = remote = peers = 0
-            for owner in np.nonzero(counts)[0]:
-                owner = int(owner)
-                elems = max(1, int(round(counts[owner] * scale)))
-                if owner == node_id:
-                    nt.local_read_elems += elems
-                    local += elems
-                else:
-                    peer_entry(nt, shared, owner).read_elems += elems
-                    remote += elems
-                    peers += 1
-            if tracer is not None:
-                tracer.emit(
-                    BundleFlushed(
-                        phase=tracer.phase,
-                        node=node_id,
-                        variable=shared.name,
-                        direction="read",
-                        raw_ops=len(specs),
-                        raw_elems=recorder.global_read_elems[node_id][shared],
-                        unique_elems=local + remote,
-                        local_elems=local,
-                        remote_elems=remote,
-                        peers=peers,
-                    )
+        pairs = _owner_elem_pairs(shared, specs, n_nodes, exact_elems)
+        local = remote = peers = 0
+        for owner, elems in pairs:
+            if owner == node_id:
+                nt.local_read_elems += elems
+                local += elems
+            else:
+                peer_entry(nt, shared, owner).read_elems += elems
+                remote += elems
+                peers += 1
+        if tracer is not None:
+            tracer.emit(
+                BundleFlushed(
+                    phase=tracer.phase,
+                    node=node_id,
+                    variable=shared.name,
+                    direction="read",
+                    raw_ops=len(specs),
+                    raw_elems=exact_elems,
+                    unique_elems=local + remote,
+                    local_elems=local,
+                    remote_elems=remote,
+                    peers=peers,
                 )
+            )
 
-    for node_id, shared_map in recorder.global_writes.items():
+    for (node_id, shared), (specs, exact_elems) in recorder.global_write_recs.items():
         nt = entry(node_id)
-        for shared, specs in shared_map.items():
-            counts = _owner_counts(shared, _unique_rows(specs), n_nodes)
-            scale = density(specs, shared, recorder.global_write_elems[node_id][shared])
-            local = remote = peers = 0
-            for owner in np.nonzero(counts)[0]:
-                owner = int(owner)
-                elems = max(1, int(round(counts[owner] * scale)))
-                if owner == node_id:
-                    nt.local_write_elems += elems
-                    local += elems
-                else:
-                    peer_entry(nt, shared, owner).write_elems += elems
-                    remote += elems
-                    peers += 1
-            if tracer is not None:
-                tracer.emit(
-                    BundleFlushed(
-                        phase=tracer.phase,
-                        node=node_id,
-                        variable=shared.name,
-                        direction="write",
-                        raw_ops=len(specs),
-                        raw_elems=recorder.global_write_elems[node_id][shared],
-                        unique_elems=local + remote,
-                        local_elems=local,
-                        remote_elems=remote,
-                        peers=peers,
-                    )
+        pairs = _owner_elem_pairs(shared, specs, n_nodes, exact_elems)
+        local = remote = peers = 0
+        for owner, elems in pairs:
+            if owner == node_id:
+                nt.local_write_elems += elems
+                local += elems
+            else:
+                peer_entry(nt, shared, owner).write_elems += elems
+                remote += elems
+                peers += 1
+        if tracer is not None:
+            tracer.emit(
+                BundleFlushed(
+                    phase=tracer.phase,
+                    node=node_id,
+                    variable=shared.name,
+                    direction="write",
+                    raw_ops=len(specs),
+                    raw_elems=exact_elems,
+                    unique_elems=local + remote,
+                    local_elems=local,
+                    remote_elems=remote,
+                    peers=peers,
                 )
+            )
 
     return traffic

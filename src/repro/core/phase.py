@@ -1,24 +1,141 @@
-"""Per-phase access recording.
+"""Per-phase access recording and the batched commit engine.
 
 While the VPs of a phase execute, every shared-variable access is
 recorded here; the commit protocol (in
 :mod:`repro.core.runtime`) then applies buffered writes, resolves
 collectives, and feeds the recorded traffic to the bundling and timing
-models.  Nothing in this module computes costs — it only remembers what
-happened, which keeps the semantics/performance split clean.
+models.  Recording computes no costs — that stays in the scheduler —
+but the commit itself is the runtime's hottest bulk operation, so
+:meth:`PhaseRecorder.apply_writes` turns the per-access
+:class:`~repro.core.shared.WriteEvent` stream into a handful of
+vectorized numpy operations (see "Commit engine" below) instead of
+replaying every buffered access one Python call at a time.
+
+Commit engine
+-------------
+
+Buffered operations sort once by ``(global VP rank, program order)``
+— the documented PPM conflict rule — and then partition by target
+array ``(shared, instance)``.  Operations on *different* targets never
+interact, so the partition preserves semantics exactly.  Within one
+target the ordered stream splits into maximal runs of one
+``(kind, op)``:
+
+* a run of plain writes concatenates row/value arrays in rank order
+  and resolves conflicts with a single ``np.lexsort`` (last writer per
+  row wins — bitwise what sequential replay produces);
+* a run of same-operator accumulates concatenates and applies one
+  ``np.ufunc.at`` (unbuffered, in index order — bitwise identical to
+  per-op application, including floating-point accumulation order);
+* anything the batcher cannot prove exact (partial-row tuple indices,
+  exotic value shapes) replays per-op via
+  :meth:`~repro.core.shared.WriteEvent.replay`, the legacy path.
 """
 
 from __future__ import annotations
 
+import operator
 from collections import defaultdict
-from typing import TYPE_CHECKING, Callable
+from typing import TYPE_CHECKING
+
+import numpy as np
 
 from repro.core.collectives import CollectiveSlot
-from repro.core.shared import RowSpec, WriteEvent
+from repro.core.shared import ACCUMULATE_UFUNCS, RowSpec, WriteEvent
 from repro.obs.events import VpScheduled
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.shared import GlobalShared, NodeShared
+
+_RANK_KEY = operator.attrgetter("rank")
+
+
+def _flush_write_run(target: np.ndarray, run: list[WriteEvent]) -> None:
+    """Apply a run of plain writes with one fancy assignment.
+
+    Rows and values concatenate in ``(rank, seq)`` order; the lexsort
+    (stable, position-tiebroken) picks the *last* write per row, which
+    is exactly the element the sequential replay would leave behind.
+    Falls back to per-op replay when a value cannot be broadcast to its
+    row block.
+    """
+    trailing = target.shape[1:]
+    dtype = target.dtype
+    try:
+        rows_parts = []
+        val_parts = []
+        for ev in run:
+            r = ev.rows.materialize()
+            v = np.broadcast_to(np.asarray(ev.value, dtype=dtype), (r.size,) + trailing)
+            rows_parts.append(r)
+            val_parts.append(v)
+        rows = np.concatenate(rows_parts)
+        vals = np.concatenate(val_parts)
+    except (ValueError, TypeError):
+        for ev in run:
+            ev.replay(target)
+        return
+    order = np.lexsort((np.arange(rows.size), rows))
+    rows = rows[order]
+    last = np.ones(rows.size, dtype=bool)
+    last[:-1] = rows[1:] != rows[:-1]
+    target[rows[last]] = vals[order[last]]
+
+
+def _flush_accumulate_run(target: np.ndarray, run: list[WriteEvent], op: str) -> None:
+    """Apply a run of same-operator accumulates with one ``ufunc.at``.
+
+    ``ufunc.at`` is unbuffered and walks the index array in order, so
+    concatenating the per-op rows/values in ``(rank, seq)`` order
+    reproduces the sequential per-op application bit for bit (the
+    floating-point combination order is unchanged).
+    """
+    trailing = target.shape[1:]
+    try:
+        rows_parts = []
+        val_parts = []
+        for ev in run:
+            r = ev.rows.materialize()
+            v = np.broadcast_to(np.asarray(ev.value), (r.size,) + trailing)
+            rows_parts.append(r)
+            val_parts.append(v)
+        rows = np.concatenate(rows_parts)
+        vals = np.concatenate(val_parts)
+    except (ValueError, TypeError):
+        for ev in run:
+            ev.replay(target)
+        return
+    ACCUMULATE_UFUNCS[op].at(target, rows, vals)
+
+
+def _apply_target_stream(target: np.ndarray, evs: list[WriteEvent]) -> None:
+    """Apply one target's rank-ordered operation stream in maximal
+    same-``(kind, op)`` runs.
+
+    Only runs whose every operation carries a materialised index array
+    batch — those are the fetches fancy replay would scatter one op at
+    a time.  Range/slice specs replay instead: a contiguous slice
+    assignment is already a single C-level block copy, and profiling
+    shows concatenating such runs costs more than replaying them.
+    """
+    n = len(evs)
+    i = 0
+    while i < n:
+        first = evs[i]
+        j = i + 1
+        batchable = first.rows_exact and first.rows.array is not None
+        while j < n and evs[j].kind == first.kind and evs[j].op == first.op:
+            ev = evs[j]
+            batchable = batchable and ev.rows_exact and ev.rows.array is not None
+            j += 1
+        if j - i == 1 or not batchable:
+            for ev in evs[i:j]:
+                ev.replay(target)
+        elif first.kind == "write":
+            _flush_write_run(target, evs[i:j])
+        else:
+            _flush_accumulate_run(target, evs[i:j], first.op)
+        i = j
 
 
 class PhaseRecorder:
@@ -42,48 +159,66 @@ class PhaseRecorder:
         self.latency_rounds = latency_rounds
         self.tracer = tracer
         self.phase_index = phase_index
-        # node id -> shared -> list[RowSpec]
-        self.global_reads: dict[int, dict["GlobalShared", list[RowSpec]]] = defaultdict(
-            lambda: defaultdict(list)
-        )
-        self.global_writes: dict[int, dict["GlobalShared", list[RowSpec]]] = defaultdict(
-            lambda: defaultdict(list)
-        )
-        # Exact element counts per (node, shared) — row specs overcount
-        # when a tuple index touches only part of each row, so the
-        # aggregator rescales row-derived counts by these.
-        self.global_read_elems: dict[int, dict["GlobalShared", int]] = defaultdict(
-            lambda: defaultdict(int)
-        )
-        self.global_write_elems: dict[int, dict["GlobalShared", int]] = defaultdict(
-            lambda: defaultdict(int)
-        )
-        # Buffered write applications: (global_rank, seq, apply_fn).
-        self.write_ops: list[tuple[int, int, Callable[[], None]]] = []
+        # (node id, shared) -> [list[RowSpec], exact element count].
+        # One flat dict per direction instead of nested per-node maps:
+        # recording is per-access, so every removed hash lookup counts.
+        # The exact counts matter because row specs overcount when a
+        # tuple index touches only part of each row; the aggregator
+        # rescales row-derived counts by them.
+        self.global_read_recs: dict[tuple, list] = {}
+        self.global_write_recs: dict[tuple, list] = {}
+        # Buffered operations, one WriteEvent per __setitem__/accumulate.
+        self.write_ops: list[WriteEvent] = []
         self._seq = 0
-        # Sanitizer write events (empty unless the sanitizer is on).
-        self.write_events: list[WriteEvent] = []
         # node id -> elements written to node-shared instances there.
         self.node_write_elems: dict[int, int] = defaultdict(int)
         # node id -> core id -> accumulated VP cpu seconds.
         self.core_costs: dict[int, dict[int, float]] = defaultdict(lambda: defaultdict(float))
         # Matched collective slots, in call order.
         self.collective_slots: list[CollectiveSlot] = []
-        # Statistics.
-        self.read_ops = 0
-        self.read_elems = 0
-        self.write_elems = 0
+        # Node-shared read tallies (node reads record no row specs, so
+        # these cannot be derived from the rec maps the way the
+        # global-read statistics are).
+        self.node_read_ops = 0
+        self.node_read_elems = 0
 
     # ------------------------------------------------------------------
+    # Statistics, derived on demand so the per-access hot path pays no
+    # bookkeeping beyond the rec-map updates it needs anyway.
+    @property
+    def read_ops(self) -> int:
+        return self.node_read_ops + sum(
+            len(r[0]) for r in self.global_read_recs.values()
+        )
+
+    @property
+    def read_elems(self) -> int:
+        return self.node_read_elems + sum(
+            r[1] for r in self.global_read_recs.values()
+        )
+
+    @property
+    def write_elems(self) -> int:
+        return sum(r[1] for r in self.global_write_recs.values()) + sum(
+            self.node_write_elems.values()
+        )
+
+    @property
+    def write_events(self) -> list[WriteEvent]:
+        """The buffered operations, as the sanitizer consumes them (the
+        same objects the commit engine applies)."""
+        return [ev for ev in self.write_ops if ev is not None]
+
     def next_seq(self) -> int:
         self._seq += 1
         return self._seq
 
     def add_global_read(self, node_id: int, shared: "GlobalShared", rows: RowSpec, n_elem: int) -> None:
-        self.global_reads[node_id][shared].append(rows)
-        self.global_read_elems[node_id][shared] += n_elem
-        self.read_ops += 1
-        self.read_elems += n_elem
+        rec = self.global_read_recs.get((node_id, shared))
+        if rec is None:
+            rec = self.global_read_recs[(node_id, shared)] = [[], 0]
+        rec[0].append(rows)
+        rec[1] += n_elem
 
     def add_global_write(
         self,
@@ -92,37 +227,34 @@ class PhaseRecorder:
         rows: RowSpec,
         n_elem: int,
         global_rank: int,
-        apply_fn: Callable[[], None],
         event: WriteEvent | None = None,
     ) -> None:
-        self.global_writes[node_id][shared].append(rows)
-        self.global_write_elems[node_id][shared] += n_elem
+        rec = self.global_write_recs.get((node_id, shared))
+        if rec is None:
+            rec = self.global_write_recs[(node_id, shared)] = [[], 0]
+        rec[0].append(rows)
+        rec[1] += n_elem
         seq = self.next_seq()
-        self.write_ops.append((global_rank, seq, apply_fn))
         if event is not None:
             event.seq = seq
-            self.write_events.append(event)
-        self.write_elems += n_elem
+            self.write_ops.append(event)
 
     def add_node_read(self, n_elem: int) -> None:
-        self.read_ops += 1
-        self.read_elems += n_elem
+        self.node_read_ops += 1
+        self.node_read_elems += n_elem
 
     def add_node_write(
         self,
         node_id: int,
         n_elem: int,
         global_rank: int,
-        apply_fn: Callable[[], None],
         event: WriteEvent | None = None,
     ) -> None:
         self.node_write_elems[node_id] += n_elem
         seq = self.next_seq()
-        self.write_ops.append((global_rank, seq, apply_fn))
         if event is not None:
             event.seq = seq
-            self.write_events.append(event)
-        self.write_elems += n_elem
+            self.write_ops.append(event)
 
     def add_vp_cost(
         self, node_id: int, core_id: int, cost: float, *, vp: int = -1
@@ -150,16 +282,32 @@ class PhaseRecorder:
         return slot
 
     # ------------------------------------------------------------------
-    def apply_writes(self) -> None:
+    def apply_writes(self, *, engine: str = "vectorized") -> None:
         """Commit all buffered writes.
 
-        Writes are applied in increasing (global VP rank, program
-        order), so conflicting plain writes resolve deterministically
-        with the highest-ranked writer winning — the documented PPM
-        conflict rule of this reproduction.
+        Operations apply in increasing (global VP rank, program order),
+        so conflicting plain writes resolve deterministically with the
+        highest-ranked writer winning — the documented PPM conflict
+        rule of this reproduction.  ``engine`` selects the batched
+        vectorized commit (default) or the legacy one-op-at-a-time
+        replay (reference semantics; the property tests assert the two
+        are bitwise identical).
         """
-        for _rank, _seq, apply_fn in sorted(self.write_ops, key=lambda t: (t[0], t[1])):
-            apply_fn()
+        if not self.write_ops:
+            return
+        # write_ops is appended in seq order, so a stable sort on rank
+        # alone yields (rank, seq) order.
+        ops = sorted(self.write_ops, key=_RANK_KEY)
+        groups: dict[tuple[int, int | None], list[WriteEvent]] = {}
+        for ev in ops:
+            groups.setdefault((id(ev.shared), ev.instance), []).append(ev)
+        for evs in groups.values():
+            target = evs[0].shared._commit_target(evs[0].instance)
+            if engine == "legacy":
+                for ev in evs:
+                    ev.replay(target)
+            else:
+                _apply_target_stream(target, evs)
 
     def resolve_collectives(self) -> int:
         """Resolve all collective slots; returns total contributions."""

@@ -64,6 +64,7 @@ class PpmProgram:
         vp_executor: str = "sequential",
         sanitize: str | bool | None = None,
         trace: "PhaseTrace | bool | None" = None,
+        hot_path: str = "fast",
     ) -> None:
         if trace in (None, False):
             tracer = None
@@ -76,9 +77,23 @@ class PpmProgram:
                 f"trace must be None, True, 'on' or a PhaseTrace, got {trace!r}"
             )
         self.runtime = PpmRuntime(
-            cluster, vp_executor=vp_executor, sanitize=sanitize, trace=tracer
+            cluster,
+            vp_executor=vp_executor,
+            sanitize=sanitize,
+            trace=tracer,
+            hot_path=hot_path,
         )
         self.cluster = cluster
+
+    def close(self) -> None:
+        """Release runtime resources (the VP thread pool, if any)."""
+        self.runtime.close()
+
+    def __enter__(self) -> "PpmProgram":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
 
     # -- system variables ----------------------------------------------
     @property
@@ -201,6 +216,7 @@ def run_ppm(
     vp_executor: str = "sequential",
     sanitize: str | bool | None = None,
     trace: "PhaseTrace | bool | None" = None,
+    hot_path: str = "fast",
     **kwargs: object,
 ):
     """Run a PPM application.
@@ -229,6 +245,12 @@ def run_ppm(
         aggregates them into a
         :class:`~repro.obs.metrics.RunReport`.  Tracing never changes
         simulated results or times.
+    hot_path:
+        ``"fast"`` (default) — zero-copy snapshot reads, vectorized
+        commit, lock elision in the sequential engine; or ``"legacy"``
+        — copy-on-read and one-op-at-a-time commit replay (reference
+        semantics).  Results and simulated times are bitwise identical
+        either way; see :class:`~repro.core.runtime.PpmRuntime`.
 
     Returns
     -------
@@ -236,6 +258,15 @@ def run_ppm(
         The program object (for ``elapsed``, ``trace``, shared
         registry) and ``main``'s return value.
     """
-    ppm = PpmProgram(cluster, vp_executor=vp_executor, sanitize=sanitize, trace=trace)
-    result = main(ppm, *args, **kwargs)
+    ppm = PpmProgram(
+        cluster,
+        vp_executor=vp_executor,
+        sanitize=sanitize,
+        trace=trace,
+        hot_path=hot_path,
+    )
+    try:
+        result = main(ppm, *args, **kwargs)
+    finally:
+        ppm.close()
     return ppm, result

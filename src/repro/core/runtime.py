@@ -24,6 +24,8 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Callable, Sequence
 
+import numpy as np
+
 from repro.config import MachineConfig
 from repro.core.bundling import aggregate_traffic
 from repro.core.collectives import CollectiveHandle
@@ -34,6 +36,7 @@ from repro.core.scheduler import (
     compose_phase_timing,
     node_comm_cost,
     node_compute_time,
+    peer_owner_messages,
 )
 from repro.core.shared import GlobalShared, RowSpec
 from repro.core.vp import VpContext, core_of
@@ -110,13 +113,28 @@ class PpmRuntime:
         vp_executor: str = "sequential",
         sanitize: str | bool | None = None,
         trace=None,
+        hot_path: str = "fast",
     ) -> None:
         if vp_executor not in ("sequential", "threads"):
             raise ValueError(
                 f"vp_executor must be 'sequential' or 'threads', got {vp_executor!r}"
             )
+        if hot_path not in ("fast", "legacy"):
+            raise ValueError(
+                f"hot_path must be 'fast' or 'legacy', got {hot_path!r}"
+            )
         self.cluster = cluster
         self.vp_executor = vp_executor
+        #: Hot-path selector.  ``"fast"`` (default) enables zero-copy
+        #: snapshot reads, the vectorized commit engine and sequential
+        #: lock elision; ``"legacy"`` restores copy-on-read and
+        #: one-op-at-a-time commit replay — the reference semantics the
+        #: property tests and the wall-clock benchmark's "before"
+        #: column run against.  Both produce bitwise-identical
+        #: committed arrays and simulated times.
+        self.hot_path = hot_path
+        self.zero_copy_reads = hot_path == "fast"
+        self.commit_engine = "vectorized" if hot_path == "fast" else "legacy"
         #: Observability event bus (:class:`repro.obs.PhaseTrace`), or
         #: None.  Every instrumented site is gated on a single
         #: ``tracer is not None`` test, so the untraced default path
@@ -141,8 +159,31 @@ class PpmRuntime:
         self.stats_global_phases = 0
         self.stats_node_phases = 0
         self._tls = threading.local()
+        # Seed the constructing thread so hot paths can read
+        # ``_tls.cursor`` directly (no getattr default needed).
+        self._tls.cursor = None
+        # Lock strategy, chosen once: the sequential engine records
+        # from a single thread and elides the lock entirely (a plain
+        # boolean branch, cheaper than entering even a no-op context
+        # manager on every shared-variable access).
         self._record_lock = threading.Lock()
+        self._needs_lock = vp_executor == "threads" or hot_path == "legacy"
         self._pool: ThreadPoolExecutor | None = None
+        # Per-access cost constants, hoisted out of the recording hot
+        # path (MachineConfig is frozen, so these cannot go stale).
+        cfg = cluster.config
+        self._access_call = cfg.ppm_access_call_overhead
+        self._access_elem = cfg.ppm_access_per_element
+        self._node_access_elem = cfg.ppm_node_access_per_element
+        self._flop_time = cfg.flop_time
+        self._mem_time = cfg.mem_access_time
+        # Cross-phase comm-cost memo: node_comm_cost depends only on a
+        # node's peer footprint (elems + itemsize per peer) and the
+        # phase's latency rounds, never on node/owner identities, and
+        # iterative solvers repeat the same footprints every phase.
+        # Bypassed when tracing (per-transfer events must be emitted)
+        # and in legacy mode.
+        self._comm_cost_cache: dict = {}
         #: Per-phase timing breakdowns, appended as phases commit.
         self.profile: list[PhaseProfile] = []
 
@@ -166,6 +207,23 @@ class PpmRuntime:
         return [] if self.sanitizer is None else list(self.sanitizer.diagnostics)
 
     # ==================================================================
+    # Lifecycle
+    # ==================================================================
+    def close(self) -> None:
+        """Release runtime resources — today, the lazily created VP
+        thread pool of the ``"threads"`` executor.  Idempotent; a later
+        ``do`` transparently recreates the pool."""
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+    def __enter__(self) -> "PpmRuntime":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    # ==================================================================
     # Recording API (called by shared-variable handles and VpContext)
     # ==================================================================
     def _require_phase(self) -> PhaseRecorder:
@@ -176,12 +234,19 @@ class PpmRuntime:
             )
         return self.phase
 
-    def record_global_read(self, shared: GlobalShared, rows: RowSpec, n_elem: int) -> None:
-        phase = self._require_phase()
-        ctx = self.cursor
-        cfg = self.config
-        ctx._cost += cfg.ppm_access_call_overhead + n_elem * cfg.ppm_access_per_element
-        with self._record_lock:
+    def record_global_read(
+        self, shared: GlobalShared, rows: RowSpec, n_elem: int, ctx=None
+    ) -> None:
+        phase = self.phase
+        if phase is None:
+            phase = self._require_phase()
+        if ctx is None:
+            ctx = self.cursor
+        ctx._cost += self._access_call + n_elem * self._access_elem
+        if self._needs_lock:
+            with self._record_lock:
+                phase.add_global_read(ctx.node_id, shared, rows, n_elem)
+        else:
             phase.add_global_read(ctx.node_id, shared, rows, n_elem)
 
     def record_global_write(
@@ -189,53 +254,84 @@ class PpmRuntime:
         shared: GlobalShared,
         rows: RowSpec,
         n_elem: int,
-        apply_fn: Callable[[], None],
         event=None,
+        ctx=None,
     ) -> None:
-        phase = self._require_phase()
+        phase = self.phase
+        if phase is None:
+            phase = self._require_phase()
         if phase.kind == "node":
             raise SharedAccessError(
                 "global shared variables cannot be written inside a node "
                 "phase; use a global phase"
             )
-        ctx = self.cursor
-        cfg = self.config
-        ctx._cost += cfg.ppm_access_call_overhead + n_elem * cfg.ppm_access_per_element
-        with self._record_lock:
+        if ctx is None:
+            ctx = self.cursor
+        ctx._cost += self._access_call + n_elem * self._access_elem
+        if self._needs_lock:
+            with self._record_lock:
+                phase.add_global_write(
+                    ctx.node_id, shared, rows, n_elem, ctx.global_rank, event
+                )
+        else:
             phase.add_global_write(
-                ctx.node_id, shared, rows, n_elem, ctx.global_rank, apply_fn, event
+                ctx.node_id, shared, rows, n_elem, ctx.global_rank, event
             )
 
-    def record_node_read(self, shared, n_elem: int) -> None:
-        phase = self._require_phase()
-        ctx = self.cursor
-        cfg = self.config
-        ctx._cost += cfg.ppm_access_call_overhead + n_elem * cfg.ppm_node_access_per_element
-        with self._record_lock:
+    def record_node_read(self, shared, n_elem: int, ctx=None) -> None:
+        phase = self.phase
+        if phase is None:
+            phase = self._require_phase()
+        if ctx is None:
+            ctx = self.cursor
+        ctx._cost += self._access_call + n_elem * self._node_access_elem
+        if self._needs_lock:
+            with self._record_lock:
+                phase.add_node_read(n_elem)
+        else:
             phase.add_node_read(n_elem)
 
-    def record_node_write(
-        self, shared, n_elem: int, apply_fn: Callable[[], None], event=None
-    ) -> None:
-        phase = self._require_phase()
-        ctx = self.cursor
-        cfg = self.config
-        ctx._cost += cfg.ppm_access_call_overhead + n_elem * cfg.ppm_node_access_per_element
-        with self._record_lock:
-            phase.add_node_write(ctx.node_id, n_elem, ctx.global_rank, apply_fn, event)
+    def record_node_write(self, shared, n_elem: int, event=None, ctx=None) -> None:
+        phase = self.phase
+        if phase is None:
+            phase = self._require_phase()
+        if ctx is None:
+            ctx = self.cursor
+        ctx._cost += self._access_call + n_elem * self._node_access_elem
+        if self._needs_lock:
+            with self._record_lock:
+                phase.add_node_write(ctx.node_id, n_elem, ctx.global_rank, event)
+        else:
+            phase.add_node_write(ctx.node_id, n_elem, ctx.global_rank, event)
 
     def record_collective(self, ctx: VpContext, kind: str, value: object, op) -> CollectiveHandle:
-        phase = self._require_phase()
+        phase = self.phase
+        if phase is None:
+            phase = self._require_phase()
         # In a global phase the collective spans all contributing VPs
         # cluster-wide; in a node phase it spans the node's VPs only
         # (the recorder of a node phase belongs to a single node, so
         # the same slot machinery scopes it naturally).
-        with self._record_lock:
-            slot = phase.collective_slot(ctx._coll_index, kind, op)
-            handle = slot.add(ctx.global_rank, value)
-        ctx._coll_index += 1
+        index = ctx._coll_index
+        if self._needs_lock:
+            with self._record_lock:
+                slot = phase.collective_slot(index, kind, op)
+                handle = slot.add(ctx.global_rank, value)
+        else:
+            slots = phase.collective_slots
+            if index < len(slots):
+                slot = slots[index]
+                # Identity match is the common case; the full
+                # compatibility check handles equal-but-distinct ops.
+                if kind != slot.kind or op is not slot.op:
+                    slot.check_compatible(kind, op)
+            else:
+                slot = phase.collective_slot(index, kind, op)
+            handle = CollectiveHandle(slot.kind)
+            slot.entries.append((ctx.global_rank, value, handle))
+        ctx._coll_index = index + 1
         # Contribution cost: one runtime-library call.
-        ctx._cost += self.config.ppm_access_call_overhead
+        ctx._cost += self._access_call
         return handle
 
     # ==================================================================
@@ -297,25 +393,32 @@ class PpmRuntime:
 
         # Phase rounds.
         while True:
-            active_nodes = [
-                node_id
-                for node_id, node_vps in enumerate(vps_by_node)
-                if any(not vp.done for vp in node_vps)
-            ]
+            # One pass per node: collect activity and the (required
+            # unanimous) declared phase kind together.
+            active_nodes: list[int] = []
+            node_kind: dict[int, str] = {}
+            for node_id, node_vps in enumerate(vps_by_node):
+                kind = None
+                for vp in node_vps:
+                    if vp.done:
+                        continue
+                    k = vp.decl.kind
+                    if kind is None:
+                        kind = k
+                    elif k != kind:
+                        kinds = {
+                            v.decl.kind for v in node_vps if not v.done
+                        }
+                        raise PhaseUsageError(
+                            f"VPs on node {node_id} declared mixed phase kinds "
+                            f"{sorted(kinds)} for the same round; all VPs of a "
+                            "node must agree"
+                        )
+                if kind is not None:
+                    active_nodes.append(node_id)
+                    node_kind[node_id] = kind
             if not active_nodes:
                 break
-            node_kind: dict[int, str] = {}
-            for node_id in active_nodes:
-                kinds = {
-                    vp.decl.kind for vp in vps_by_node[node_id] if not vp.done
-                }
-                if len(kinds) != 1:
-                    raise PhaseUsageError(
-                        f"VPs on node {node_id} declared mixed phase kinds "
-                        f"{sorted(kinds)} for the same round; all VPs of a "
-                        "node must agree"
-                    )
-                node_kind[node_id] = next(iter(kinds))
             node_phase_nodes = [n for n in active_nodes if node_kind[n] == "node"]
             if node_phase_nodes:
                 # Nodes in node phases proceed asynchronously; nodes
@@ -337,7 +440,11 @@ class PpmRuntime:
     # ------------------------------------------------------------------
     @staticmethod
     def _normalize_counts(vp_counts, n_nodes: int) -> list[int]:
-        if isinstance(vp_counts, (int,)):
+        # numpy integers (np.int64 and friends) are scalar VP counts
+        # too — they must not fall into the per-node-sequence branch,
+        # where they fail with a confusing length error.
+        if isinstance(vp_counts, (int, np.integer)):
+            vp_counts = int(vp_counts)
             if vp_counts < 0:
                 raise ValueError(f"VP count must be non-negative, got {vp_counts}")
             return [vp_counts] * n_nodes
@@ -387,7 +494,8 @@ class PpmRuntime:
         phase (or the prologue) up to the next phase declaration."""
         if vp.done:
             return
-        self.cursor = vp.ctx
+        tls = self._tls
+        tls.cursor = vp.ctx
         try:
             decl = next(vp.gen)
         except StopIteration:
@@ -402,7 +510,7 @@ class PpmRuntime:
                 phase_index=vp.phase_index,
             ) from exc
         finally:
-            self.cursor = None
+            tls.cursor = None
         if not isinstance(decl, PhaseDecl):
             raise PhaseUsageError(
                 f"PPM functions must yield phase declarations "
@@ -422,6 +530,14 @@ class PpmRuntime:
             if self.vp_executor == "threads":
                 self._execute_threaded(recorder, vps)
             else:
+                tr = recorder.tracer
+                core_costs = recorder.core_costs
+                # VPs arrive node-major, so the inner per-core dict is
+                # fetched once per node run.  Costs still accumulate
+                # one VP at a time — the float summation order is part
+                # of the bitwise-identity contract.
+                run_node = -1
+                inner = None
                 for vp in vps:
                     if vp.done:
                         continue
@@ -429,10 +545,18 @@ class PpmRuntime:
                     ctx._cost = 0.0
                     ctx._coll_index = 0
                     self._advance(vp)
-                    recorder.add_vp_cost(
-                        ctx.node_id, ctx.core_id, ctx._cost, vp=ctx.global_rank
-                    )
-                    vp.last_cost = ctx._cost
+                    cost = ctx._cost
+                    if tr is not None:
+                        recorder.add_vp_cost(
+                            ctx.node_id, ctx.core_id, cost, vp=ctx.global_rank
+                        )
+                    elif cost:
+                        if ctx.node_id != run_node:
+                            run_node = ctx.node_id
+                            inner = core_costs[run_node]
+                        core = ctx.core_id
+                        inner[core] = inner.get(core, 0.0) + cost
+                    vp.last_cost = cost
                     ctx._cost = 0.0
         finally:
             self.phase = None
@@ -536,7 +660,7 @@ class PpmRuntime:
         # is visible), then writes in rank order, then collectives.
         if self.sanitizer is not None:
             self.sanitizer.check_phase(recorder, phase_index=phase_index)
-        recorder.apply_writes()
+        recorder.apply_writes(engine=self.commit_engine)
         n_contrib = recorder.resolve_collectives()
 
         cfg = self.config
@@ -547,10 +671,33 @@ class PpmRuntime:
         comm_costs = {}
         total_msgs = 0
         total_bytes = 0
+        # Owner-side per-peer message counts repeat across peers with
+        # identical element/itemsize footprints (every symmetric stencil
+        # exchange); memoise instead of re-deriving a single-peer
+        # NodeTraffic cost per peer.
+        peer_msg_cache: dict[tuple[int, int, int], int] = {}
+        cost_cache = self._comm_cost_cache if tr is None and self.zero_copy_reads else None
         for node_id, nt in traffic.items():
-            cost = node_comm_cost(
-                net, nt, latency_rounds=recorder.latency_rounds, tracer=tr
-            )
+            if cost_cache is not None:
+                ck = (
+                    recorder.latency_rounds,
+                    tuple(
+                        (p.read_elems, p.write_elems, p.shared.itemsize)
+                        for p in nt.peers
+                    ),
+                )
+                cost = cost_cache.get(ck)
+                if cost is None:
+                    cost = node_comm_cost(
+                        net, nt, latency_rounds=recorder.latency_rounds
+                    )
+                    if len(cost_cache) >= 4096:
+                        cost_cache.clear()
+                    cost_cache[ck] = cost
+            else:
+                cost = node_comm_cost(
+                    net, nt, latency_rounds=recorder.latency_rounds, tracer=tr
+                )
             comm_costs[node_id] = cost
             total_msgs += cost.messages
             total_bytes += cost.payload_bytes
@@ -560,13 +707,12 @@ class PpmRuntime:
                     continue
                 # Owner-side software: message handling plus applying
                 # scattered elements into its partition.
-                per_peer = node_comm_cost(
-                    net,
-                    type(nt)(node_id=node_id, peers=[p]),
-                    latency_rounds=recorder.latency_rounds,
-                )
+                key = (p.read_elems, p.write_elems, p.shared.itemsize)
+                msgs = peer_msg_cache.get(key)
+                if msgs is None:
+                    msgs = peer_msg_cache[key] = peer_owner_messages(net, p)
                 in_cpu[p.owner] = in_cpu.get(p.owner, 0.0) + (
-                    per_peer.messages * cfg.mpi_msg_overhead
+                    msgs * cfg.mpi_msg_overhead
                     + p.write_elems * cfg.ppm_commit_per_element
                 )
 
@@ -678,7 +824,7 @@ class PpmRuntime:
 
         if self.sanitizer is not None:
             self.sanitizer.check_phase(recorder, phase_index=phase_index)
-        recorder.apply_writes()
+        recorder.apply_writes(engine=self.commit_engine)
         n_contrib = recorder.resolve_collectives()
 
         cfg = self.config
@@ -689,21 +835,39 @@ class PpmRuntime:
         # fetch traffic is charged here (writes were rejected earlier).
         traffic = aggregate_traffic(recorder, self.cluster.n_nodes, tracer=tr)
         nt = traffic.get(node_id)
-        comm_cost = (
-            node_comm_cost(net, nt, latency_rounds=recorder.latency_rounds, tracer=tr)
-            if nt is not None
-            else ZERO_COST
-        )
+        if nt is None:
+            comm_cost = ZERO_COST
+        elif tr is None and self.zero_copy_reads:
+            cost_cache = self._comm_cost_cache
+            ck = (
+                recorder.latency_rounds,
+                tuple(
+                    (p.read_elems, p.write_elems, p.shared.itemsize)
+                    for p in nt.peers
+                ),
+            )
+            comm_cost = cost_cache.get(ck)
+            if comm_cost is None:
+                comm_cost = node_comm_cost(
+                    net, nt, latency_rounds=recorder.latency_rounds
+                )
+                if len(cost_cache) >= 4096:
+                    cost_cache.clear()
+                cost_cache[ck] = comm_cost
+        else:
+            comm_cost = node_comm_cost(
+                net, nt, latency_rounds=recorder.latency_rounds, tracer=tr
+            )
         if nt is not None:
+            peer_msg_cache: dict[tuple[int, int, int], int] = {}
             for p in nt.peers:
                 # Owner-side service cost lands on the owner's clock.
-                per_peer = node_comm_cost(
-                    net,
-                    type(nt)(node_id=node_id, peers=[p]),
-                    latency_rounds=recorder.latency_rounds,
-                )
+                key = (p.read_elems, p.write_elems, p.shared.itemsize)
+                msgs = peer_msg_cache.get(key)
+                if msgs is None:
+                    msgs = peer_msg_cache[key] = peer_owner_messages(net, p)
                 self.cluster.node(p.owner).clock.advance(
-                    per_peer.messages * cfg.mpi_msg_overhead
+                    msgs * cfg.mpi_msg_overhead
                 )
 
         compute = node_compute_time(recorder.core_costs.get(node_id, {}))

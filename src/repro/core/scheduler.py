@@ -127,6 +127,31 @@ def node_comm_cost(
     return BundleCost(messages=msgs, payload_bytes=nbytes, wire_time=wire, cpu_time=cpu)
 
 
+def peer_owner_messages(network: NetworkModel, p) -> int:
+    """Message count of one peer entry's traffic, as the owner sees it.
+
+    Identical to the ``messages`` field of :func:`node_comm_cost` on a
+    single-peer ``NodeTraffic`` (latency rounds never change message
+    counts), but without building the throwaway traffic object or
+    computing wire/cpu times the caller discards.  The runtime charges
+    the owner ``messages * mpi_msg_overhead`` per peer, and memoises
+    this per ``(read_elems, write_elems, itemsize)`` within a phase.
+    """
+    msgs = 0
+    if p.read_elems:
+        msgs += network.bundle(
+            p.read_elems, False, element_bytes=0, with_index=True
+        ).messages
+        msgs += network.bundle(
+            p.read_elems, False, element_bytes=p.shared.itemsize, with_index=False
+        ).messages
+    if p.write_elems:
+        msgs += network.bundle(
+            p.write_elems, False, element_bytes=p.shared.itemsize, with_index=True
+        ).messages
+    return msgs
+
+
 def compose_phase_timing(
     config: MachineConfig,
     network: NetworkModel,

@@ -14,10 +14,19 @@ algorithms" (paper section 3: "Implicit communication").  Inside a
 phase, reads return the phase-start snapshot and writes are buffered
 until the commit at the phase barrier; outside any phase (driver-level
 setup code) accesses apply directly and are not timed.
+
+Snapshot reads are **zero-copy**: a basic-index read inside a phase
+returns a read-only view of the committed store instead of a copy.
+Snapshot semantics are preserved by a copy-on-commit protocol — when a
+phase commit is about to overwrite rows that a still-live view aliases,
+the store swaps to a fresh buffer first, so the view keeps observing
+the phase-start values forever (docs/ARCHITECTURE.md, "Hot path &
+wall-clock performance").
 """
 
 from __future__ import annotations
 
+import weakref
 from typing import TYPE_CHECKING
 
 import numpy as np
@@ -39,19 +48,35 @@ ACCUMULATE_UFUNCS = {
 
 
 class RowSpec:
-    """Rows (axis-0 indices) touched by one access, in either a cheap
-    contiguous-range form or a materialised index-array form."""
+    """Rows (axis-0 indices) touched by one access, in a cheap range
+    form (contiguous or strided, nothing materialised) or a
+    materialised index-array form."""
 
-    __slots__ = ("start", "stop", "array")
+    __slots__ = ("start", "stop", "step", "array")
 
-    def __init__(self, start: int = 0, stop: int = 0, array: np.ndarray | None = None) -> None:
+    def __init__(
+        self,
+        start: int = 0,
+        stop: int = 0,
+        step: int = 1,
+        array: np.ndarray | None = None,
+    ) -> None:
         self.start = start
         self.stop = stop
+        self.step = step
         self.array = array
 
     @classmethod
     def from_range(cls, start: int, stop: int) -> "RowSpec":
         return cls(start=start, stop=max(start, stop))
+
+    @classmethod
+    def from_slice(cls, start: int, stop: int, step: int) -> "RowSpec":
+        """Strided range — kept symbolic so recording a stepped-slice
+        access does not materialise an ``np.arange``."""
+        if step == 1:
+            return cls(start=start, stop=max(start, stop))
+        return cls(start=start, stop=stop, step=step)
 
     @classmethod
     def from_array(cls, array: np.ndarray) -> "RowSpec":
@@ -61,31 +86,62 @@ class RowSpec:
     def count(self) -> int:
         if self.array is not None:
             return int(self.array.size)
-        return self.stop - self.start
+        if self.step == 1:
+            return max(0, self.stop - self.start)
+        return len(range(self.start, self.stop, self.step))
+
+    @property
+    def is_contiguous(self) -> bool:
+        """True for a plain ``[start, stop)`` range (the bundling
+        engine's interval fast path)."""
+        return self.array is None and self.step == 1
 
     def materialize(self) -> np.ndarray:
         """Rows as an int64 array."""
         if self.array is not None:
             return self.array
-        return np.arange(self.start, self.stop, dtype=np.int64)
+        return np.arange(self.start, self.stop, self.step, dtype=np.int64)
+
+    def bounds(self) -> tuple[int, int]:
+        """Half-open ``[lo, hi)`` hull of the rows (``(0, 0)`` when
+        empty); used by the copy-on-commit overlap test."""
+        if self.array is not None:
+            if self.array.size == 0:
+                return (0, 0)
+            return (int(self.array.min()), int(self.array.max()) + 1)
+        if self.step == 1:
+            if self.stop <= self.start:
+                return (0, 0)
+            return (self.start, self.stop)
+        r = range(self.start, self.stop, self.step)
+        if len(r) == 0:
+            return (0, 0)
+        lo, hi = (r[0], r[-1]) if self.step > 0 else (r[-1], r[0])
+        return (lo, hi + 1)
 
 
 class WriteEvent:
-    """Sanitizer-grade record of one buffered write or accumulate.
+    """Record of one buffered write or accumulate.
 
-    Only created when the runtime's phase-conflict sanitizer is
-    enabled: it carries enough to *replay* the operation onto a scratch
-    array (``idx``/``value``/``op``), so the sanitizer can classify
-    conflicting footprints without touching the committed store.
+    This is the commit engine's *universal* buffered-operation record:
+    every ``__setitem__``/``accumulate`` inside a phase creates one
+    (replacing the per-write Python closures of earlier revisions), the
+    vectorized commit batches them per target, and the phase-conflict
+    sanitizer classifies the very same objects when it is enabled.
     ``instance`` is the node id for node-shared targets, ``None`` for
-    global-shared ones.
+    global-shared ones.  ``rows_exact`` marks operations whose ``idx``
+    addresses exactly the rows in ``rows`` (no partial-row tuple
+    index), which is what the vectorized commit path can batch;
+    everything else falls back to an exact per-op :meth:`replay`.
     """
 
-    __slots__ = ("shared", "instance", "kind", "op", "idx", "value", "rows", "rank", "seq")
+    __slots__ = (
+        "shared", "instance", "kind", "op", "idx", "value", "rows",
+        "rank", "seq", "rows_exact",
+    )
 
     def __init__(
         self,
-        *,
         shared: object,
         instance: int | None,
         kind: str,
@@ -94,6 +150,7 @@ class WriteEvent:
         value: object,
         rows: RowSpec,
         rank: int,
+        rows_exact: bool = False,
     ) -> None:
         self.shared = shared
         self.instance = instance
@@ -104,9 +161,11 @@ class WriteEvent:
         self.rows = rows
         self.rank = rank
         self.seq = 0  # program-order tiebreak, set by the recorder
+        self.rows_exact = rows_exact
 
     def replay(self, target: np.ndarray) -> None:
-        """Apply this operation to ``target`` (a scratch ndarray)."""
+        """Apply this operation to ``target`` exactly as the original
+        access would have (the legacy/fallback commit path)."""
         if self.kind == "write":
             target[self.idx] = self.value
         else:
@@ -196,9 +255,7 @@ def _normalize_rows(idx: object, n0: int) -> RowSpec:
         return RowSpec.from_range(i, i + 1)
     if isinstance(head, slice):
         start, stop, step = head.indices(n0)
-        if step == 1:
-            return RowSpec.from_range(start, stop)
-        return RowSpec.from_array(np.arange(start, stop, step, dtype=np.int64))
+        return RowSpec.from_slice(start, stop, step)
     if head is Ellipsis:
         return RowSpec.from_range(0, n0)
     arr = np.asarray(head)
@@ -216,6 +273,12 @@ def _normalize_rows(idx: object, n0: int) -> RowSpec:
     return RowSpec.from_array(arr)
 
 
+def _rows_exact(idx: object) -> bool:
+    """True when ``idx`` addresses exactly the rows ``_normalize_rows``
+    reports — i.e. no tuple index selecting parts of each row."""
+    return not (isinstance(idx, tuple) and len(idx) > 1)
+
+
 class _SharedBase:
     """Common machinery of both shared-variable kinds."""
 
@@ -230,6 +293,70 @@ class _SharedBase:
         self.shape = shape
         self.dtype = np.dtype(dtype)
         self._trailing = int(np.prod(shape[1:], dtype=np.int64)) if len(shape) > 1 else 1
+        # Per-access cost constants (MachineConfig is frozen); the
+        # per-element rate is kind-specific and set by the subclass.
+        self._acall = runtime._access_call
+        self._elem_rate = runtime._access_elem
+        # Access-record cache: index key -> (RowSpec, n_elem, rows_exact).
+        # Phase code replays the same index expressions every iteration
+        # (a VP's chunk slice, its column-footprint array), so the
+        # normalisation/counting work is done once per distinct index.
+        self._access_cache: dict = {}
+        # Owner-count memo for the bundling engine (global-shared only;
+        # see repro.core.bundling).
+        self._counts_cache: dict = {}
+
+    def _access_record(self, idx: object, data: np.ndarray) -> tuple:
+        """``(rows, n_elem, rows_exact, view_kind, cost)`` for ``idx``,
+        cached.  ``cost`` is the simulated per-access software overhead
+        (call + per-element), precomputed so the hot path charges it
+        with a single add.
+
+        ``view_kind`` classifies what ``data[idx]`` returns: ``True``
+        for basic indexing (a view — the read path must freeze and
+        flag it), ``False`` for fancy indexing (a fresh copy — nothing
+        to guard), ``None`` for unclassified forms (the read path
+        falls back to an ``np.may_share_memory`` probe).
+
+        Cacheable forms: plain slices (keyed by their endpoints), ints,
+        and non-boolean index arrays (keyed by object identity, entry
+        dropped when the array is garbage-collected — index arrays are
+        treated as immutable between accesses, matching how phase code
+        uses a precomputed footprint).  Boolean masks and tuple indices
+        select value- or shape-dependent element sets, so they are
+        recomputed every access.
+        """
+        t = type(idx)
+        if t is slice:
+            key = (idx.start, idx.stop, idx.step)
+            view_kind = True
+        elif t is int:
+            key = idx
+            view_kind = True
+        elif t is np.ndarray and idx.dtype != np.bool_:
+            key = ("a", id(idx))
+            view_kind = False
+        else:
+            rows = _normalize_rows(idx, self.shape[0])
+            n_elem = self._count_elements(idx, rows, data)
+            return (
+                rows, n_elem, _rows_exact(idx), None,
+                self._acall + n_elem * self._elem_rate,
+            )
+        rec = self._access_cache.get(key)
+        if rec is None:
+            rows = _normalize_rows(idx, self.shape[0])
+            n_elem = self._count_elements(idx, rows, data)
+            rec = (
+                rows, n_elem, _rows_exact(idx), view_kind,
+                self._acall + n_elem * self._elem_rate,
+            )
+            if t is np.ndarray:
+                # Drop the id-keyed entry when the index array dies, so
+                # a recycled id can never resolve to stale rows.
+                weakref.finalize(idx, self._access_cache.pop, key, None)
+            self._access_cache[key] = rec
+        return rec
 
     @property
     def itemsize(self) -> int:
@@ -249,10 +376,12 @@ class _SharedBase:
 
     @staticmethod
     def _copy_out(value):
-        """Snapshot-read results must not alias the committed store."""
+        """Snapshot-read results must not alias the committed store
+        (the legacy hot path and driver-level reads)."""
         if isinstance(value, np.ndarray):
             return value.copy()
         return value
+
 
 
 class GlobalShared(_SharedBase):
@@ -272,6 +401,15 @@ class GlobalShared(_SharedBase):
             self._data = np.empty(self.shape, dtype=self.dtype)
         else:
             self._data = np.full(self.shape, fill, dtype=self.dtype)
+        # True once a snapshot view of the current buffer was handed
+        # out; the next commit then swaps buffers (copy-on-commit).
+        self._views_taken = False
+        # Read-only alias of the committed buffer: snapshot reads index
+        # it so basic-index results are born read-only (children of a
+        # non-writeable array are non-writeable) — no per-access
+        # ``flags.writeable`` toggle needed.  Rebuilt on buffer swap.
+        self._ro = self._data.view()
+        self._ro.flags.writeable = False
         # Block partition boundaries: node i owns rows
         # [starts[i], starts[i+1]).
         self._starts = np.array(
@@ -301,7 +439,11 @@ class GlobalShared(_SharedBase):
 
         This is the paper's node↔global *cast* utility: it bypasses the
         phase access protocol, so it must only be used in driver-level
-        setup/teardown code, never inside VP phases.
+        setup/teardown code, never inside VP phases.  A handle obtained
+        here aliases the *current* committed buffer; a later phase
+        commit that triggers the copy-on-commit guard swaps the buffer,
+        so re-fetch the view after running phases rather than holding
+        one across ``ppm.do``.
         """
         if self.runtime.cursor is not None:
             raise SharedAccessError(
@@ -311,36 +453,125 @@ class GlobalShared(_SharedBase):
         lo, hi = self.local_range(node_id)
         return self._data[lo:hi]
 
+    # -- commit protocol -------------------------------------------------
+    def _commit_target(self, instance: int | None) -> np.ndarray:
+        """The array buffered writes should apply to.
+
+        Copy-on-commit guard: if any snapshot view of the current
+        buffer was handed out, the store swaps to a fresh copy of the
+        phase-start buffer first — the old buffer is never written
+        again, so every outstanding view keeps observing phase-start
+        values (dropped views just release it to the allocator).
+        """
+        if self._views_taken:
+            self._views_taken = False
+            self._data = self._data.copy()
+            self._ro = self._data.view()
+            self._ro.flags.writeable = False
+            starts = self._starts
+            name = f"gshared:{self.name}"
+            for node in self.runtime.cluster:
+                s, e = starts[node.node_id], starts[node.node_id + 1]
+                node.memory.rebind(name, self._data[s:e])
+        return self._data
+
     # -- access ----------------------------------------------------------
     def __getitem__(self, idx):
-        cur = self.runtime.cursor
-        if cur is None:
+        rt = self.runtime
+        try:
+            ctx = rt._tls.cursor
+        except AttributeError:
+            ctx = None
+        if ctx is None:
             return self._copy_out(self._data[idx])
+        if rt.zero_copy_reads:
+            # Recording is inlined here (every Python call is
+            # measurable at this frequency); semantics are identical to
+            # rt.record_global_read.
+            data = self._ro
+            rows, n_elem, _, view_kind, cost = self._access_record(idx, data)
+            phase = rt.phase
+            if phase is None:
+                rt._require_phase()
+            ctx._cost += cost
+            if rt._needs_lock:
+                with rt._record_lock:
+                    phase.add_global_read(ctx.node_id, self, rows, n_elem)
+            else:
+                recs = phase.global_read_recs
+                rec = recs.get((ctx.node_id, self))
+                if rec is None:
+                    rec = recs[(ctx.node_id, self)] = [[], 0]
+                rec[0].append(rows)
+                rec[1] += n_elem
+            value = data[idx]
+            if view_kind:
+                if isinstance(value, np.ndarray):
+                    self._views_taken = True
+            elif (
+                view_kind is None
+                and isinstance(value, np.ndarray)
+                and np.may_share_memory(value, data)
+            ):
+                self._views_taken = True
+            return value
+        data = self._data
         rows = _normalize_rows(idx, self.shape[0])
-        n_elem = self._count_elements(idx, rows, self._data)
-        self.runtime.record_global_read(self, rows, n_elem)
-        return self._copy_out(self._data[idx])
+        n_elem = self._count_elements(idx, rows, data)
+        rt.record_global_read(self, rows, n_elem, ctx)
+        return self._copy_out(data[idx])
 
     def __setitem__(self, idx, value) -> None:
-        cur = self.runtime.cursor
-        if cur is None:
+        rt = self.runtime
+        try:
+            ctx = rt._tls.cursor
+        except AttributeError:
+            ctx = None
+        if ctx is None:
             self._data[idx] = value
+            return
+        if rt.zero_copy_reads:
+            rows, n_elem, rows_exact, _vk, cost = self._access_record(idx, self._data)
+            if isinstance(value, np.ndarray):
+                value = np.array(value, dtype=self.dtype, copy=True)
+            rank = ctx.global_rank
+            event = WriteEvent(
+                self, None, "write", None, idx, value, rows, rank, rows_exact
+            )
+            # Inlined rt.record_global_write (identical semantics).
+            phase = rt.phase
+            if phase is None:
+                rt._require_phase()
+            if phase.kind == "node":
+                raise SharedAccessError(
+                    "global shared variables cannot be written inside a node "
+                    "phase; use a global phase"
+                )
+            ctx._cost += cost
+            if rt._needs_lock:
+                with rt._record_lock:
+                    phase.add_global_write(
+                        ctx.node_id, self, rows, n_elem, rank, event
+                    )
+            else:
+                recs = phase.global_write_recs
+                rec = recs.get((ctx.node_id, self))
+                if rec is None:
+                    rec = recs[(ctx.node_id, self)] = [[], 0]
+                rec[0].append(rows)
+                rec[1] += n_elem
+                event.seq = phase._seq = phase._seq + 1
+                phase.write_ops.append(event)
             return
         rows = _normalize_rows(idx, self.shape[0])
         n_elem = self._count_elements(idx, rows, self._data)
+        rows_exact = _rows_exact(idx)
         value_copy = np.array(value, dtype=self.dtype, copy=True) if isinstance(value, np.ndarray) else value
-        data = self._data
-
-        def apply(_idx=idx, _v=value_copy):
-            data[_idx] = _v
-
-        event = None
-        if self.runtime.sanitizer is not None:
-            event = WriteEvent(
-                shared=self, instance=None, kind="write", op=None,
-                idx=idx, value=value_copy, rows=rows, rank=cur.global_rank,
-            )
-        self.runtime.record_global_write(self, rows, n_elem, apply, event=event)
+        event = WriteEvent(
+            self, None, "write", None, idx, value_copy, rows,
+            ctx.global_rank, rows_exact,
+        )
+        rt.record_global_write(self, rows, n_elem, event, ctx)
 
     def accumulate(self, rows, values, op: str = "add") -> None:
         """Combine ``values`` into ``self[rows]`` at phase commit with a
@@ -352,25 +583,57 @@ class GlobalShared(_SharedBase):
             raise ValueError(
                 f"unknown accumulate op {op!r}; expected one of {sorted(ACCUMULATE_UFUNCS)}"
             ) from None
-        cur = self.runtime.cursor
-        if cur is None:
+        rt = self.runtime
+        try:
+            ctx = rt._tls.cursor
+        except AttributeError:
+            ctx = None
+        if ctx is None:
             ufunc.at(self._data, rows, values)
             return
+        if rt.zero_copy_reads:
+            spec, _, rows_exact, _vk, _c = self._access_record(rows, self._data)
+            n_elem = spec.count * self._trailing
+            if isinstance(values, np.ndarray):
+                values = np.array(values, dtype=self.dtype, copy=True)
+            rank = ctx.global_rank
+            event = WriteEvent(
+                self, None, "accumulate", op, rows, values, spec, rank, rows_exact
+            )
+            # Inlined rt.record_global_write (identical semantics).
+            phase = rt.phase
+            if phase is None:
+                rt._require_phase()
+            if phase.kind == "node":
+                raise SharedAccessError(
+                    "global shared variables cannot be written inside a node "
+                    "phase; use a global phase"
+                )
+            ctx._cost += rt._access_call + n_elem * rt._access_elem
+            if rt._needs_lock:
+                with rt._record_lock:
+                    phase.add_global_write(
+                        ctx.node_id, self, spec, n_elem, rank, event
+                    )
+            else:
+                recs = phase.global_write_recs
+                rec = recs.get((ctx.node_id, self))
+                if rec is None:
+                    rec = recs[(ctx.node_id, self)] = [[], 0]
+                rec[0].append(spec)
+                rec[1] += n_elem
+                event.seq = phase._seq = phase._seq + 1
+                phase.write_ops.append(event)
+            return
         spec = _normalize_rows(rows, self.shape[0])
+        rows_exact = _rows_exact(rows)
         n_elem = spec.count * self._trailing
         vals = np.array(values, dtype=self.dtype, copy=True) if isinstance(values, np.ndarray) else values
-        data = self._data
-
-        def apply(_rows=rows, _v=vals):
-            ufunc.at(data, _rows, _v)
-
-        event = None
-        if self.runtime.sanitizer is not None:
-            event = WriteEvent(
-                shared=self, instance=None, kind="accumulate", op=op,
-                idx=rows, value=vals, rows=spec, rank=cur.global_rank,
-            )
-        self.runtime.record_global_write(self, spec, n_elem, apply, event=event)
+        event = WriteEvent(
+            self, None, "accumulate", op, rows, vals, spec,
+            ctx.global_rank, rows_exact,
+        )
+        rt.record_global_write(self, spec, n_elem, event, ctx)
 
     @property
     def committed(self) -> np.ndarray:
@@ -395,7 +658,13 @@ class NodeShared(_SharedBase):
 
     def __init__(self, runtime: "PpmRuntime", name: str, shape, dtype=np.float64, fill=0) -> None:
         super().__init__(runtime, name, shape, dtype)
+        self._elem_rate = runtime._node_access_elem
         self._data: list[np.ndarray] = []
+        # Per-instance read-only alias (see GlobalShared._ro).
+        self._ro: list[np.ndarray] = []
+        # Per-instance flag: a snapshot view of the current buffer is
+        # (or was) out there; the next commit swaps buffers.
+        self._views_taken: list[bool] = []
         for node in runtime.cluster:
             if fill is None:
                 arr = np.empty(self.shape, dtype=self.dtype)
@@ -403,9 +672,19 @@ class NodeShared(_SharedBase):
                 arr = np.full(self.shape, fill, dtype=self.dtype)
             node.memory.adopt(f"nshared:{name}", arr)
             self._data.append(arr)
+            ro = arr.view()
+            ro.flags.writeable = False
+            self._ro.append(ro)
+            self._views_taken.append(False)
 
     def instance(self, node_id: int) -> np.ndarray:
-        """Direct handle on one node's instance (driver code only)."""
+        """Direct handle on one node's instance (driver code only).
+
+        Like :meth:`GlobalShared.local_view`, the handle aliases the
+        current committed buffer and is invalidated if a later phase
+        commit triggers the copy-on-commit guard — re-fetch it after
+        running phases instead of holding it across ``ppm.do``.
+        """
         if self.runtime.cursor is not None:
             raise SharedAccessError(
                 "NodeShared.instance is driver-level; VP code must use "
@@ -424,58 +703,145 @@ class NodeShared(_SharedBase):
             )
         return cur.node_id
 
+    # -- commit protocol -------------------------------------------------
+    def _commit_target(self, instance: int | None) -> np.ndarray:
+        """Node-level copy-on-commit (see
+        :meth:`GlobalShared._commit_target`)."""
+        if self._views_taken[instance]:
+            self._views_taken[instance] = False
+            self._data[instance] = self._data[instance].copy()
+            ro = self._data[instance].view()
+            ro.flags.writeable = False
+            self._ro[instance] = ro
+            self.runtime.cluster.node(instance).memory.rebind(
+                f"nshared:{self.name}", self._data[instance]
+            )
+        return self._data[instance]
+
     def __getitem__(self, idx):
-        node = self._current_node()
+        rt = self.runtime
+        try:
+            ctx = rt._tls.cursor
+        except AttributeError:
+            ctx = None
+        if ctx is None:
+            self._current_node()  # raises the driver-level usage error
+        node = ctx.node_id
+        if rt.zero_copy_reads:
+            data = self._ro[node]
+            rows, n_elem, _, view_kind, cost = self._access_record(idx, data)
+            phase = rt.phase
+            if phase is None:
+                rt._require_phase()
+            ctx._cost += cost
+            if rt._needs_lock:
+                with rt._record_lock:
+                    phase.add_node_read(n_elem)
+            else:
+                phase.node_read_ops += 1
+                phase.node_read_elems += n_elem
+            value = data[idx]
+            if view_kind:
+                if isinstance(value, np.ndarray):
+                    self._views_taken[node] = True
+            elif (
+                view_kind is None
+                and isinstance(value, np.ndarray)
+                and np.may_share_memory(value, data)
+            ):
+                self._views_taken[node] = True
+            return value
         data = self._data[node]
         rows = _normalize_rows(idx, self.shape[0])
         n_elem = self._count_elements(idx, rows, data)
-        self.runtime.record_node_read(self, n_elem)
+        rt.record_node_read(self, n_elem, ctx)
         return self._copy_out(data[idx])
 
     def __setitem__(self, idx, value) -> None:
-        node = self._current_node()
-        data = self._data[node]
-        rows = _normalize_rows(idx, self.shape[0])
-        n_elem = self._count_elements(idx, rows, data)
-        value_copy = np.array(value, dtype=self.dtype, copy=True) if isinstance(value, np.ndarray) else value
-
-        def apply(_idx=idx, _v=value_copy, _data=data):
-            _data[_idx] = _v
-
-        event = None
-        if self.runtime.sanitizer is not None:
+        rt = self.runtime
+        try:
+            ctx = rt._tls.cursor
+        except AttributeError:
+            ctx = None
+        if ctx is None:
+            self._current_node()
+        node = ctx.node_id
+        if rt.zero_copy_reads:
+            rows, n_elem, rows_exact, _vk, cost = self._access_record(idx, self._data[node])
+            if isinstance(value, np.ndarray):
+                value = np.array(value, dtype=self.dtype, copy=True)
+            rank = ctx.global_rank
             event = WriteEvent(
-                shared=self, instance=node, kind="write", op=None,
-                idx=idx, value=value_copy, rows=rows,
-                rank=self.runtime.cursor.global_rank,
+                self, node, "write", None, idx, value, rows, rank, rows_exact
             )
-        self.runtime.record_node_write(self, n_elem, apply, event=event)
+            # Inlined rt.record_node_write (identical semantics).
+            phase = rt.phase
+            if phase is None:
+                rt._require_phase()
+            ctx._cost += cost
+            if rt._needs_lock:
+                with rt._record_lock:
+                    phase.add_node_write(node, n_elem, rank, event)
+            else:
+                phase.node_write_elems[node] += n_elem
+                event.seq = phase._seq = phase._seq + 1
+                phase.write_ops.append(event)
+            return
+        rows = _normalize_rows(idx, self.shape[0])
+        n_elem = self._count_elements(idx, rows, self._data[node])
+        rows_exact = _rows_exact(idx)
+        value_copy = np.array(value, dtype=self.dtype, copy=True) if isinstance(value, np.ndarray) else value
+        event = WriteEvent(
+            self, node, "write", None, idx, value_copy, rows,
+            ctx.global_rank, rows_exact,
+        )
+        rt.record_node_write(self, n_elem, event, ctx)
 
     def accumulate(self, rows, values, op: str = "add") -> None:
         """Node-level analogue of :meth:`GlobalShared.accumulate`."""
-        try:
-            ufunc = ACCUMULATE_UFUNCS[op]
-        except KeyError:
+        if op not in ACCUMULATE_UFUNCS:
             raise ValueError(
                 f"unknown accumulate op {op!r}; expected one of {sorted(ACCUMULATE_UFUNCS)}"
-            ) from None
-        node = self._current_node()
-        data = self._data[node]
+            )
+        rt = self.runtime
+        try:
+            ctx = rt._tls.cursor
+        except AttributeError:
+            ctx = None
+        if ctx is None:
+            self._current_node()
+        node = ctx.node_id
+        if rt.zero_copy_reads:
+            spec, _, rows_exact, _vk, _c = self._access_record(rows, self._data[node])
+            n_elem = spec.count * self._trailing
+            if isinstance(values, np.ndarray):
+                values = np.array(values, dtype=self.dtype, copy=True)
+            rank = ctx.global_rank
+            event = WriteEvent(
+                self, node, "accumulate", op, rows, values, spec, rank, rows_exact
+            )
+            # Inlined rt.record_node_write (identical semantics).
+            phase = rt.phase
+            if phase is None:
+                rt._require_phase()
+            ctx._cost += rt._access_call + n_elem * rt._node_access_elem
+            if rt._needs_lock:
+                with rt._record_lock:
+                    phase.add_node_write(node, n_elem, rank, event)
+            else:
+                phase.node_write_elems[node] += n_elem
+                event.seq = phase._seq = phase._seq + 1
+                phase.write_ops.append(event)
+            return
         spec = _normalize_rows(rows, self.shape[0])
+        rows_exact = _rows_exact(rows)
         n_elem = spec.count * self._trailing
         vals = np.array(values, dtype=self.dtype, copy=True) if isinstance(values, np.ndarray) else values
-
-        def apply(_rows=rows, _v=vals, _data=data):
-            ufunc.at(_data, _rows, _v)
-
-        event = None
-        if self.runtime.sanitizer is not None:
-            event = WriteEvent(
-                shared=self, instance=node, kind="accumulate", op=op,
-                idx=rows, value=vals, rows=spec,
-                rank=self.runtime.cursor.global_rank,
-            )
-        self.runtime.record_node_write(self, n_elem, apply, event=event)
+        event = WriteEvent(
+            self, node, "accumulate", op, rows, vals, spec,
+            ctx.global_rank, rows_exact,
+        )
+        rt.record_node_write(self, n_elem, event, ctx)
 
     def __len__(self) -> int:
         return self.shape[0]

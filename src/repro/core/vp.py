@@ -97,13 +97,13 @@ class VpContext:
         """Charge ``flops`` floating-point operations to this VP."""
         if flops < 0:
             raise ValueError(f"flops must be non-negative, got {flops}")
-        self._cost += flops * self.runtime.config.flop_time
+        self._cost += flops * self.runtime._flop_time
 
     def mem_work(self, accesses: float) -> None:
         """Charge ``accesses`` irregular local memory accesses."""
         if accesses < 0:
             raise ValueError(f"accesses must be non-negative, got {accesses}")
-        self._cost += accesses * self.runtime.config.mem_access_time
+        self._cost += accesses * self.runtime._mem_time
 
     # ------------------------------------------------------------------
     # Phase collectives (paper section 3.1, item 6: utility functions)

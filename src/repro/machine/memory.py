@@ -40,6 +40,18 @@ class NodeMemory:
         self._segments[name] = array
         return array
 
+    def rebind(self, name: str, array: np.ndarray) -> np.ndarray:
+        """Replace an existing segment's backing array (no copy).
+
+        Used by the copy-on-commit protocol: when a live snapshot view
+        pins a shared variable's buffer at commit time, the variable
+        swaps in a fresh buffer and rebinds the node's segment to it.
+        """
+        if name not in self._segments:
+            raise KeyError(f"segment {name!r} not allocated on node {self.node_id}")
+        self._segments[name] = array
+        return array
+
     def free(self, name: str) -> None:
         """Release a segment; error if unknown."""
         try:

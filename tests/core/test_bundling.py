@@ -75,7 +75,7 @@ class TestAggregation:
         A = ppm4.global_shared("A", 8)
         rec = PhaseRecorder("global")
         rec.add_global_read(0, A, RowSpec.from_range(6, 8), 2)
-        rec.add_global_write(0, A, RowSpec.from_range(6, 7), 1, 0, lambda: None)
+        rec.add_global_write(0, A, RowSpec.from_range(6, 7), 1, 0, None)
         traffic = aggregate_traffic(rec, 4)
         nt = traffic[0]
         peer = nt.peers[0]
