@@ -86,6 +86,7 @@ def ppm_bh_simulate(
     vp_per_core: int = 2,
     trace=None,
     hot_path: str = "fast",
+    **run_opts,
 ) -> tuple[np.ndarray, np.ndarray, float]:
     """Run the PPM Barnes-Hut on the cluster.
 
@@ -110,5 +111,7 @@ def ppm_bh_simulate(
         )
         return POSM.committed, VEL.committed
 
-    ppm, (posm, vel_out) = run_ppm(main, cluster, trace=trace, hot_path=hot_path)
+    ppm, (posm, vel_out) = run_ppm(
+        main, cluster, trace=trace, hot_path=hot_path, **run_opts
+    )
     return posm[:, 0:3], vel_out, ppm.elapsed

@@ -101,13 +101,17 @@ def ppm_cg_solve(
     vp_per_core: int = 2,
     trace=None,
     hot_path: str = "fast",
+    **run_opts,
 ) -> tuple[CgResult, float]:
     """Solve the problem with the PPM CG on the given cluster.
 
     Returns the solver result and the simulated execution time of the
     solve (setup is untimed, as in the paper's measurements).  Pass a
     :class:`~repro.obs.events.PhaseTrace` as ``trace`` to collect
-    phase-level observability events for the run.
+    phase-level observability events for the run.  Extra keyword
+    arguments (``faults=``, ``checkpoint_every=``, ``resilience=``,
+    ``sanitize=``, ...) pass through to
+    :func:`~repro.core.program.run_ppm`.
     """
 
     def main(ppm):
@@ -125,7 +129,9 @@ def ppm_cg_solve(
         ppm.do(k, _cg_kernel, problem.A, xs, rs, ps, qs, stats, b_norm, max_iters, tol)
         return xs.committed, stats.committed
 
-    ppm, (x, stats) = run_ppm(main, cluster, trace=trace, hot_path=hot_path)
+    ppm, (x, stats) = run_ppm(
+        main, cluster, trace=trace, hot_path=hot_path, **run_opts
+    )
     result = CgResult(
         x=x,
         iterations=int(stats[1]),

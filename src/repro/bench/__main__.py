@@ -31,6 +31,7 @@ from repro.bench.figures import (
 )
 from repro.bench.obs_traffic import obs_cg_traffic
 from repro.bench.report import render_chart, save_result
+from repro.bench.resilience import bench_resilience
 from repro.bench.wallclock import wallclock
 
 EXPERIMENTS: dict[str, Callable] = {
@@ -48,6 +49,7 @@ EXPERIMENTS: dict[str, Callable] = {
     "ext_multigrid": ext_multigrid,
     "obs_cg": obs_cg_traffic,
     "wallclock": wallclock,
+    "resilience": bench_resilience,
 }
 
 

@@ -25,6 +25,7 @@ Times are in seconds of *simulated* time; sizes in bytes.
 from __future__ import annotations
 
 import dataclasses
+import math
 from dataclasses import dataclass
 
 
@@ -160,16 +161,34 @@ class MachineConfig:
     request or a scattered write bundle."""
 
     def __post_init__(self) -> None:
+        # ConfigError lives in repro.core.errors; importing it at module
+        # scope would cycle (repro.core.program imports this module), so
+        # it is resolved on first validation instead.
+        from repro.core.errors import ConfigError
+
         if self.n_nodes < 1:
-            raise ValueError(f"n_nodes must be >= 1, got {self.n_nodes}")
+            raise ConfigError(f"n_nodes must be >= 1, got {self.n_nodes}")
         if self.cores_per_node < 1:
-            raise ValueError(
+            raise ConfigError(
                 f"cores_per_node must be >= 1, got {self.cores_per_node}"
             )
+        # Byte sizes must be positive: a zero element/index size makes
+        # every per-element cost silently vanish and a zero (or
+        # negative) bundle capacity divides by zero in bundling.
+        for name in ("element_bytes", "index_bytes", "bundle_max_bytes"):
+            if getattr(self, name) <= 0:
+                raise ConfigError(
+                    f"{name} must be positive, got {getattr(self, name)}"
+                )
         if self.bundle_max_bytes < self.element_bytes + self.index_bytes:
-            raise ValueError("bundle_max_bytes too small to hold one element")
+            raise ConfigError("bundle_max_bytes too small to hold one element")
         if not 0.0 <= self.overlap_fraction <= 1.0:
-            raise ValueError("overlap_fraction must be in [0, 1]")
+            raise ConfigError("overlap_fraction must be in [0, 1]")
+        # Rates, latencies and overheads must be finite and
+        # non-negative.  Zero is legal — degenerate zero-cost machines
+        # are a supported test configuration — but a negative or
+        # NaN/inf knob would propagate into negative or NaN simulated
+        # times far from the mistake.
         for name in (
             "flop_time",
             "mem_access_time",
@@ -178,15 +197,20 @@ class MachineConfig:
             "intra_alpha",
             "intra_beta",
             "mpi_msg_overhead",
+            "smartmap_msg_overhead",
             "ppm_access_call_overhead",
             "ppm_access_per_element",
             "ppm_node_access_per_element",
             "ppm_commit_per_element",
             "barrier_alpha",
             "nic_contention_coeff",
+            "overlap_fraction",
         ):
-            if getattr(self, name) < 0:
-                raise ValueError(f"{name} must be non-negative")
+            value = getattr(self, name)
+            if not math.isfinite(value):
+                raise ConfigError(f"{name} must be finite, got {value}")
+            if value < 0:
+                raise ConfigError(f"{name} must be non-negative, got {value}")
 
     # ------------------------------------------------------------------
     @property

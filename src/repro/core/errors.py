@@ -35,6 +35,45 @@ class CollectiveUsageError(PpmError):
     """A phase collective handle was read before its phase committed."""
 
 
+class ConfigError(PpmError, ValueError):
+    """A :class:`~repro.config.MachineConfig` field is invalid —
+    negative rates, non-finite values, non-positive byte sizes or an
+    inconsistent topology.  Subclasses :class:`ValueError` so callers
+    that predate the dedicated type keep working."""
+
+
+class ResilienceError(PpmError):
+    """Base class of errors raised by :mod:`repro.resilience`."""
+
+
+class ResilienceConfigError(ResilienceError, ValueError):
+    """A fault plan, retry policy or checkpoint policy is invalid.
+
+    ``code`` carries the diagnostic rule id (``PPM301``..``PPM305``,
+    see docs/DIAGNOSTICS.md) so messages can be traced back to the
+    reference the same way lint/sanitizer findings are."""
+
+    def __init__(self, message: str, *, code: str) -> None:
+        super().__init__(f"{code}: {message}")
+        self.code = code
+
+
+class NodeCrashFault(ResilienceError):
+    """An injected node crash fired at a phase boundary.
+
+    Raised by the runtime *before* the phase's writes apply, so the
+    committed state observed by recovery is exactly the last
+    phase-boundary cut.  ``run_ppm`` catches this and re-executes the
+    driver, restoring from the last checkpoint (docs/RESILIENCE.md)."""
+
+    def __init__(self, *, node: int, phase_index: int) -> None:
+        super().__init__(
+            f"injected crash of node {node} at phase {phase_index}"
+        )
+        self.node = node
+        self.phase_index = phase_index
+
+
 class PpmDiagnosticError(PpmError):
     """Base class of errors raised by the diagnostics tooling
     (:mod:`repro.analysis`); carries the structured findings."""

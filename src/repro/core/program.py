@@ -65,6 +65,7 @@ class PpmProgram:
         sanitize: str | bool | None = None,
         trace: "PhaseTrace | bool | None" = None,
         hot_path: str = "fast",
+        resilience=None,
     ) -> None:
         if trace in (None, False):
             tracer = None
@@ -82,6 +83,7 @@ class PpmProgram:
             sanitize=sanitize,
             trace=tracer,
             hot_path=hot_path,
+            resilience=resilience,
         )
         self.cluster = cluster
 
@@ -217,6 +219,9 @@ def run_ppm(
     sanitize: str | bool | None = None,
     trace: "PhaseTrace | bool | None" = None,
     hot_path: str = "fast",
+    faults=None,
+    checkpoint_every: int | None = None,
+    resilience=None,
     **kwargs: object,
 ):
     """Run a PPM application.
@@ -251,6 +256,28 @@ def run_ppm(
         — copy-on-read and one-op-at-a-time commit replay (reference
         semantics).  Results and simulated times are bitwise identical
         either way; see :class:`~repro.core.runtime.PpmRuntime`.
+    faults:
+        ``None`` (default) or a
+        :class:`~repro.resilience.faults.FaultPlan` — a deterministic,
+        seeded schedule of message drops/corruption/delays/duplicates,
+        node crashes and stragglers.  Injected faults cost simulated
+        time; committed results stay bitwise-identical to a fault-free
+        run (docs/RESILIENCE.md).
+    checkpoint_every:
+        ``None`` (default, off) or an ``int >= 1`` — snapshot all
+        shared instances plus the simulated clock every that many
+        phases; an injected crash rolls back to the last checkpoint
+        instead of restarting from scratch.
+    resilience:
+        Optional
+        :class:`~repro.resilience.manager.ResiliencePolicy` with the
+        retry/timeout/backoff schedule and checkpoint/recovery cost
+        knobs (defaults apply when ``faults``/``checkpoint_every`` are
+        given without it).
+
+    With ``faults``, ``checkpoint_every`` and ``resilience`` all
+    ``None`` (the default), this takes exactly the pre-resilience
+    fast path — no per-phase hooks, no overhead.
 
     Returns
     -------
@@ -258,15 +285,61 @@ def run_ppm(
         The program object (for ``elapsed``, ``trace``, shared
         registry) and ``main``'s return value.
     """
-    ppm = PpmProgram(
+    if faults is None and checkpoint_every is None and resilience is None:
+        ppm = PpmProgram(
+            cluster,
+            vp_executor=vp_executor,
+            sanitize=sanitize,
+            trace=trace,
+            hot_path=hot_path,
+        )
+        try:
+            result = main(ppm, *args, **kwargs)
+        finally:
+            ppm.close()
+        return ppm, result
+
+    # Deferred import: repro.core must stay importable without the
+    # resilience package being touched on the default path.
+    from repro.core.errors import NodeCrashFault, ResilienceError
+    from repro.resilience.manager import ResilienceManager, ResiliencePolicy
+
+    if resilience is not None and not isinstance(resilience, ResiliencePolicy):
+        raise ValueError(
+            f"resilience must be a ResiliencePolicy or None, got {resilience!r}"
+        )
+    # Resolve the tracer once so every incarnation appends to the same
+    # PhaseTrace (a crashed incarnation's events are part of the run).
+    if trace is True or trace == "on":
+        trace = PhaseTrace()
+    manager = ResilienceManager(
         cluster,
-        vp_executor=vp_executor,
-        sanitize=sanitize,
-        trace=trace,
-        hot_path=hot_path,
+        plan=faults,
+        checkpoint_every=checkpoint_every,
+        policy=resilience,
     )
-    try:
-        result = main(ppm, *args, **kwargs)
-    finally:
-        ppm.close()
-    return ppm, result
+    manager.tracer = trace if isinstance(trace, PhaseTrace) else None
+    for _ in range(manager.policy.max_incarnations):
+        ppm = PpmProgram(
+            cluster,
+            vp_executor=vp_executor,
+            sanitize=sanitize,
+            trace=trace,
+            hot_path=hot_path,
+            resilience=manager,
+        )
+        manager.begin_incarnation(ppm.runtime)
+        try:
+            result = main(ppm, *args, **kwargs)
+        except NodeCrashFault as crash:
+            # Plan the rollback (cut selection, detection + restore
+            # cost, memory release) and re-execute the driver.
+            manager.handle_crash(crash, ppm.runtime)
+        else:
+            return ppm, result
+        finally:
+            ppm.close()
+    raise ResilienceError(
+        f"run did not complete within {manager.policy.max_incarnations} "
+        "incarnations (more planned crashes than max_incarnations allows?)"
+    )

@@ -33,6 +33,7 @@ from repro.core.constructs import PhaseDecl
 from repro.core.errors import PhaseUsageError, SharedAccessError, VpProgramError
 from repro.core.phase import PhaseRecorder
 from repro.core.scheduler import (
+    PhaseTiming,
     compose_phase_timing,
     node_comm_cost,
     node_compute_time,
@@ -114,6 +115,7 @@ class PpmRuntime:
         sanitize: str | bool | None = None,
         trace=None,
         hot_path: str = "fast",
+        resilience=None,
     ) -> None:
         if vp_executor not in ("sequential", "threads"):
             raise ValueError(
@@ -154,6 +156,13 @@ class PpmRuntime:
             from repro.analysis.sanitizer import PhaseSanitizer
 
             self.sanitizer = PhaseSanitizer(mode=sanitize)
+        #: Resilience orchestrator
+        #: (:class:`repro.resilience.manager.ResilienceManager`), or
+        #: None.  Like the tracer, every hook site is gated on a single
+        #: ``resilience is not None`` test and hooks run per *phase*,
+        #: never per access, so disabled resilience costs the hot path
+        #: nothing.
+        self.resilience = resilience
         self.phase: PhaseRecorder | None = None
         self.shared_registry: dict[str, object] = {}
         self.stats_global_phases = 0
@@ -636,8 +645,15 @@ class PpmRuntime:
             for vp in vps_by_node[n]
             if not vp.done
         )
-        tr = self.tracer
+        res = self.resilience
         phase_index = self.stats_global_phases + self.stats_node_phases
+        if res is not None:
+            # May raise NodeCrashFault (before any body runs, so the
+            # committed state stays the last phase-boundary cut) or,
+            # when recovering with no checkpoint, resume at phase 0 —
+            # which re-attaches the tracer, so read it afterwards.
+            res.on_phase_start(phase_index, self)
+        tr = self.tracer
         recorder = PhaseRecorder(
             "global", latency_rounds, tracer=tr, phase_index=phase_index
         )
@@ -716,6 +732,12 @@ class PpmRuntime:
                     + p.write_elems * cfg.ppm_commit_per_element
                 )
 
+        penalties = (
+            res.message_penalties(phase_index, traffic, net)
+            if res is not None
+            else None
+        )
+
         # Per-node busy time, then cluster-wide barrier.
         t_end = 0.0
         node_timings = {}
@@ -724,6 +746,8 @@ class PpmRuntime:
             node_id = node.node_id
             node_t0[node_id] = node.clock.now
             compute = node_compute_time(recorder.core_costs.get(node_id, {}))
+            if res is not None:
+                compute *= res.straggler_factor(phase_index, node_id, self)
             nt = traffic.get(node_id)
             commit_cpu = recorder.node_write_elems.get(node_id, 0) * cfg.ppm_commit_per_element
             if nt is not None:
@@ -736,6 +760,19 @@ class PpmRuntime:
                 comm_cost=comm_costs.get(node_id, ZERO_COST),
                 extra_comm_cpu=in_cpu.get(node_id, 0.0),
             )
+            if penalties is not None:
+                extra = penalties.get(node_id, 0.0)
+                if extra:
+                    # Retry/backoff time is serialized after the
+                    # phase's regular traffic (the loss is only
+                    # detected at timeout), so it is unoverlappable
+                    # communication time.
+                    timing = PhaseTiming(
+                        compute=timing.compute,
+                        commit_cpu=timing.commit_cpu,
+                        comm=timing.comm + extra,
+                        overlapped=timing.overlapped,
+                    )
             node_timings[node_id] = timing
             t_end = max(t_end, node.clock.now + timing.busy)
 
@@ -796,14 +833,21 @@ class PpmRuntime:
             nbytes=total_bytes,
             detail=f"vps={len(body_vps)} collectives={n_contrib}",
         )
+        if res is not None:
+            # Checkpoint when due (its cost lands between phases), or
+            # — while fast-forwarding — resume at the restored cut.
+            res.after_commit(phase_index, self)
 
     # ------------------------------------------------------------------
     def _run_node_phase(self, node_id: int, node_vps: list[_VpRecord]) -> None:
         latency_rounds = max(
             vp.decl.latency_rounds for vp in node_vps if not vp.done
         )
-        tr = self.tracer
+        res = self.resilience
         phase_index = self.stats_global_phases + self.stats_node_phases
+        if res is not None:
+            res.on_phase_start(phase_index, self)
+        tr = self.tracer
         recorder = PhaseRecorder(
             "node", latency_rounds, tracer=tr, phase_index=phase_index
         )
@@ -871,12 +915,24 @@ class PpmRuntime:
                 )
 
         compute = node_compute_time(recorder.core_costs.get(node_id, {}))
+        if res is not None:
+            compute *= res.straggler_factor(phase_index, node_id, self)
         commit_cpu = recorder.node_write_elems.get(node_id, 0) * cfg.ppm_commit_per_element
         if nt is not None:
             commit_cpu += nt.local_write_elems * cfg.ppm_commit_per_element
         timing = compose_phase_timing(
             cfg, net, compute=compute, commit_cpu=commit_cpu, comm_cost=comm_cost
         )
+        if res is not None:
+            penalties = res.message_penalties(phase_index, traffic, net)
+            extra = penalties.get(node_id, 0.0) if penalties else 0.0
+            if extra:
+                timing = PhaseTiming(
+                    compute=timing.compute,
+                    commit_cpu=timing.commit_cpu,
+                    comm=timing.comm + extra,
+                    overlapped=timing.overlapped,
+                )
         # Node-level synchronisation: a reduction tree over the node's
         # cores when the phase carried collectives, a plain barrier
         # otherwise.
@@ -932,3 +988,5 @@ class PpmRuntime:
             messages=comm_cost.messages,
             nbytes=comm_cost.payload_bytes,
         )
+        if res is not None:
+            res.after_commit(phase_index, self)

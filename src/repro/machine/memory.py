@@ -52,6 +52,13 @@ class NodeMemory:
         self._segments[name] = array
         return array
 
+    def clear(self) -> None:
+        """Release every segment at once — the node's memory image
+        after a restart.  Crash recovery uses this between driver
+        incarnations so the replay can re-declare its shared
+        variables (:mod:`repro.resilience.manager`)."""
+        self._segments.clear()
+
     def free(self, name: str) -> None:
         """Release a segment; error if unknown."""
         try:

@@ -29,14 +29,18 @@ from repro.obs.events import (
     EVENT_TYPES,
     BarrierWait,
     BundleFlushed,
+    CheckpointTaken,
     Event,
     EventBus,
+    FaultInjected,
     MessageRecv,
     MessageSend,
     NodeSlice,
     PhaseBegin,
     PhaseCommit,
     PhaseTrace,
+    Recovery,
+    RetryAttempt,
     VpScheduled,
     event_from_dict,
 )
@@ -49,14 +53,16 @@ from repro.obs.export import (
     save_trace,
     trace_to_dict,
 )
-from repro.obs.metrics import PhaseReport, RunReport
+from repro.obs.metrics import PhaseReport, ResilienceSummary, RunReport
 
 __all__ = [
     "EVENT_TYPES",
     "BarrierWait",
     "BundleFlushed",
+    "CheckpointTaken",
     "Event",
     "EventBus",
+    "FaultInjected",
     "MessageRecv",
     "MessageSend",
     "NodeSlice",
@@ -64,6 +70,9 @@ __all__ = [
     "PhaseCommit",
     "PhaseReport",
     "PhaseTrace",
+    "Recovery",
+    "ResilienceSummary",
+    "RetryAttempt",
     "RunReport",
     "VpScheduled",
     "chrome_trace",

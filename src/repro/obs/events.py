@@ -10,17 +10,21 @@ runtime (:mod:`repro.core.runtime`), the per-phase recorder
 
 Event taxonomy (full field reference in docs/OBSERVABILITY.md):
 
-=================  ====================  ================================
-Event              Emitted from          One per
-=================  ====================  ================================
-`PhaseBegin`       core/runtime.py       phase, before its bodies run
-`VpScheduled`      core/phase.py         VP resumed in a phase round
-`BundleFlushed`    core/bundling.py      (node, variable, direction)
-`MessageSend`      core/scheduler.py     wire transfer leaving a node
-`MessageRecv`      core/scheduler.py     wire transfer arriving at a node
-`BarrierWait`      machine/network.py    phase-closing synchronisation
-`PhaseCommit`      core/runtime.py       phase, after its barrier
-=================  ====================  ================================
+=================  =======================  =============================
+Event              Emitted from             One per
+=================  =======================  =============================
+`PhaseBegin`       core/runtime.py          phase, before its bodies run
+`VpScheduled`      core/phase.py            VP resumed in a phase round
+`BundleFlushed`    core/bundling.py         (node, variable, direction)
+`MessageSend`      core/scheduler.py        wire transfer leaving a node
+`MessageRecv`      core/scheduler.py        wire transfer arriving
+`BarrierWait`      machine/network.py       phase-closing synchronisation
+`PhaseCommit`      core/runtime.py          phase, after its barrier
+`FaultInjected`    resilience/manager.py    fault the injector fired
+`RetryAttempt`     resilience/retry.py      re-sent bundle flight
+`CheckpointTaken`  resilience/checkpoint.py coordinated checkpoint
+`Recovery`         resilience/manager.py    crash rolled back + resumed
+=================  =======================  =============================
 
 Instrumented sites are gated behind a single ``tracer is not None``
 predicate, so the untraced default path pays one pointer test per site
@@ -205,6 +209,82 @@ class PhaseCommit(Event):
     nodes: tuple[NodeSlice, ...]
 
 
+@dataclass(frozen=True)
+class FaultInjected(Event):
+    """The fault injector fired one planned fault.
+
+    ``fault`` is ``crash``, ``straggler``, ``drop``, ``corrupt``,
+    ``delay`` or ``duplicate``.  ``node`` identifies the victim of a
+    crash/straggler (``-1`` for message faults); ``src``/``dst`` the
+    endpoints of a message fault (``-1`` otherwise).  ``detail``
+    carries the fault magnitude — straggler slowdown factor or the
+    injected delay in seconds (0.0 when not applicable)."""
+
+    kind: ClassVar[str] = "fault_injected"
+
+    fault: str
+    node: int
+    src: int
+    dst: int
+    detail: float
+
+
+@dataclass(frozen=True)
+class RetryAttempt(Event):
+    """The reliable delivery layer re-sent one bundle flight.
+
+    ``attempt`` is 1-based (the first *re*-send is attempt 1);
+    ``reason`` is ``drop`` or ``corrupt``; ``backoff`` the exponential
+    timeout charged before this re-send; ``delivered`` whether this
+    attempt got the bundle through."""
+
+    kind: ClassVar[str] = "retry_attempt"
+
+    src: int
+    dst: int
+    attempt: int
+    reason: str
+    backoff: float
+    delivered: bool
+
+
+@dataclass(frozen=True)
+class CheckpointTaken(Event):
+    """A coordinated phase-boundary checkpoint was written.
+
+    ``phase`` is the just-committed phase whose cut the checkpoint
+    captures; ``nbytes`` the serialized size of all shared instances;
+    ``duration`` the simulated seconds charged; ``t`` the cluster time
+    when the checkpoint completed."""
+
+    kind: ClassVar[str] = "checkpoint_taken"
+
+    nbytes: int
+    duration: float
+    t: float
+
+
+@dataclass(frozen=True)
+class Recovery(Event):
+    """The runtime recovered from an injected node crash.
+
+    ``phase`` is the phase at which the crash fired; ``node`` the
+    crashed node; ``checkpoint_phase`` the phase of the restored
+    checkpoint (``-1`` when no checkpoint existed and the run restarts
+    from its initial state); ``t_crash``/``t_resume`` bracket the
+    recovery on the simulated clock; ``lost_work`` is the simulated
+    time between the restored cut and the crash — work that must be
+    re-executed."""
+
+    kind: ClassVar[str] = "recovery"
+
+    node: int
+    checkpoint_phase: int
+    t_crash: float
+    t_resume: float
+    lost_work: float
+
+
 #: Registry used by the trace-file loader (docs/OBSERVABILITY.md has
 #: the on-disk schema).
 EVENT_TYPES: dict[str, type[Event]] = {
@@ -217,6 +297,10 @@ EVENT_TYPES: dict[str, type[Event]] = {
         MessageRecv,
         BarrierWait,
         PhaseCommit,
+        FaultInjected,
+        RetryAttempt,
+        CheckpointTaken,
+        Recovery,
     )
 }
 

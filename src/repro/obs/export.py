@@ -271,6 +271,26 @@ def format_report(report: RunReport) -> str:
         f"overlap: {100 * report.overlap_fraction:.1f}% of comm hidden   "
         f"max barrier skew: {report.max_barrier_skew * 1e6:.2f} us"
     )
+    rs = report.resilience
+    if rs is not None:
+        # Section appears only for runs with resilience events, so
+        # fault-free report output is byte-identical to earlier versions.
+        lines.append(
+            f"faults: {rs.faults} injected "
+            f"({rs.stragglers} straggler, {rs.duplicates} duplicate)   "
+            f"retries: {rs.retries}"
+        )
+        lines.append(
+            f"checkpoints: {rs.checkpoints} "
+            f"({rs.checkpoint_bytes} bytes, {_fmt_ms(rs.checkpoint_time)} ms)   "
+            f"recoveries: {rs.recoveries} "
+            f"(downtime {_fmt_ms(rs.recovery_time)} ms, "
+            f"lost work {_fmt_ms(rs.lost_work)} ms)"
+        )
+        lines.append(
+            f"resilience overhead: "
+            f"{100 * rs.overhead(report.elapsed):.1f}% of elapsed"
+        )
     return "\n".join(lines)
 
 
@@ -311,4 +331,27 @@ def report_to_dict(report: RunReport) -> dict:
             "overlap_fraction": report.overlap_fraction,
             "max_barrier_skew_s": report.max_barrier_skew,
         },
+        # Key present only for runs with resilience events, keeping the
+        # fault-free JSON schema unchanged.
+        **(
+            {
+                "resilience": {
+                    "faults": report.resilience.faults,
+                    "retries": report.resilience.retries,
+                    "duplicates": report.resilience.duplicates,
+                    "stragglers": report.resilience.stragglers,
+                    "checkpoints": report.resilience.checkpoints,
+                    "checkpoint_bytes": report.resilience.checkpoint_bytes,
+                    "checkpoint_time_s": report.resilience.checkpoint_time,
+                    "recoveries": report.resilience.recoveries,
+                    "recovery_time_s": report.resilience.recovery_time,
+                    "lost_work_s": report.resilience.lost_work,
+                    "overhead_fraction": report.resilience.overhead(
+                        report.elapsed
+                    ),
+                }
+            }
+            if report.resilience is not None
+            else {}
+        ),
     }

@@ -31,13 +31,53 @@ from dataclasses import dataclass
 from repro.obs.events import (
     BarrierWait,
     BundleFlushed,
+    CheckpointTaken,
     Event,
+    FaultInjected,
     MessageRecv,
     MessageSend,
     PhaseBegin,
     PhaseCommit,
+    Recovery,
+    RetryAttempt,
     VpScheduled,
 )
+
+
+@dataclass(frozen=True)
+class ResilienceSummary:
+    """Run-level aggregates of the resilience event stream (present on
+    a :class:`RunReport` only when the trace contains fault, retry,
+    checkpoint or recovery events).
+
+    * **faults** — injected fault occurrences
+      (:class:`~repro.obs.events.FaultInjected` count: each dropped or
+      corrupted attempt, delay, duplicate and straggler phase).
+    * **retries** — bundle re-sends
+      (:class:`~repro.obs.events.RetryAttempt` count).
+    * **checkpoint_time** / **recovery detection+restore** /
+      **lost_work** are the three components of the resilience
+      overhead; ``overhead(elapsed)`` relates their sum to the run.
+    """
+
+    faults: int
+    retries: int
+    duplicates: int
+    stragglers: int
+    checkpoints: int
+    checkpoint_bytes: int
+    checkpoint_time: float
+    recoveries: int
+    recovery_time: float
+    lost_work: float
+
+    def overhead(self, elapsed: float) -> float:
+        """Fraction of ``elapsed`` spent on checkpoints, recovery
+        (detection + restore) and re-executed lost work."""
+        if elapsed <= 0:
+            return 0.0
+        total = self.checkpoint_time + self.recovery_time + self.lost_work
+        return total / elapsed
 
 
 @dataclass(frozen=True)
@@ -92,6 +132,9 @@ class RunReport:
     """
 
     phases: tuple[PhaseReport, ...]
+    resilience: ResilienceSummary | None = None
+    """Aggregates of the resilience event stream; None for a run
+    without fault injection, checkpointing or recovery."""
 
     # -- construction --------------------------------------------------
     @classmethod
@@ -104,6 +147,19 @@ class RunReport:
         begins: dict[int, PhaseBegin] = {}
         commits: dict[int, PhaseCommit] = {}
         acc: dict[int, dict] = {}
+        res = {
+            "faults": 0,
+            "retries": 0,
+            "duplicates": 0,
+            "stragglers": 0,
+            "checkpoints": 0,
+            "checkpoint_bytes": 0,
+            "checkpoint_time": 0.0,
+            "recoveries": 0,
+            "recovery_time": 0.0,
+            "lost_work": 0.0,
+        }
+        saw_resilience = False
 
         def bucket(phase: int) -> dict:
             if phase not in acc:
@@ -142,6 +198,26 @@ class RunReport:
                 bucket(ev.phase)["recv_bytes"] += ev.nbytes
             elif isinstance(ev, BarrierWait):
                 bucket(ev.phase)["barrier_cost"] += ev.duration
+            elif isinstance(ev, FaultInjected):
+                saw_resilience = True
+                res["faults"] += 1
+                if ev.fault == "duplicate":
+                    res["duplicates"] += 1
+                elif ev.fault == "straggler":
+                    res["stragglers"] += 1
+            elif isinstance(ev, RetryAttempt):
+                saw_resilience = True
+                res["retries"] += 1
+            elif isinstance(ev, CheckpointTaken):
+                saw_resilience = True
+                res["checkpoints"] += 1
+                res["checkpoint_bytes"] += ev.nbytes
+                res["checkpoint_time"] += ev.duration
+            elif isinstance(ev, Recovery):
+                saw_resilience = True
+                res["recoveries"] += 1
+                res["recovery_time"] += ev.t_resume - ev.t_crash
+                res["lost_work"] += ev.lost_work
 
         reports = []
         for phase in sorted(commits):
@@ -183,7 +259,10 @@ class RunReport:
                     collectives=commit.collectives,
                 )
             )
-        return cls(phases=tuple(reports))
+        return cls(
+            phases=tuple(reports),
+            resilience=ResilienceSummary(**res) if saw_resilience else None,
+        )
 
     @classmethod
     def from_trace(cls, trace) -> "RunReport":

@@ -1,0 +1,151 @@
+"""Phase-boundary checkpoint/restore of PPM shared state.
+
+Why the phase barrier is a correct checkpoint cut (paper §3): writes
+made inside a phase are buffered and apply only at the end-of-phase
+commit, every VP of the cluster passes the same barrier, and no
+message crosses it — commit-time bundles are flushed and consumed
+within the committing phase.  The committed arrays *between* two
+phases therefore form a coordinated global snapshot with no in-flight
+state, exactly what uncoordinated checkpointing protocols pay
+message-logging to approximate.  A checkpoint here is just a copy of
+every shared instance plus the simulated clock.
+
+What is (deliberately) not checkpointed: VP-private generator state.
+A VP's locals live in its Python generator frame, which cannot be
+serialized; on recovery the driver re-executes deterministically from
+its start and the runtime fast-forwards to the restored cut
+(:mod:`repro.resilience.manager`).  Simulated time is charged as a
+real checkpoint/restore system would pay it — write-out at
+``checkpoint_bandwidth``, detection timeout, read-back — while the
+host-side replay below the cut is a simulator artifact that costs
+no simulated seconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.errors import ResilienceConfigError
+from repro.core.shared import GlobalShared, NodeShared
+from repro.obs.events import CheckpointTaken
+
+
+@dataclass(frozen=True)
+class Checkpoint:
+    """One coordinated snapshot: the committed state after ``phase``.
+
+    ``arrays`` maps each shared-variable name to a copy of its
+    committed data — a single ndarray for global-shared, a list of
+    per-node instances for node-shared.  ``t`` is the simulated time
+    at which the checkpoint write-out completed.
+    """
+
+    phase: int
+    t: float
+    nbytes: int
+    arrays: dict[str, np.ndarray | list[np.ndarray]] = field(repr=False)
+
+
+class CheckpointManager:
+    """Takes and restores coordinated phase-boundary checkpoints.
+
+    ``every`` is the phase interval: the committed state is captured
+    after phases ``every - 1``, ``2 * every - 1``, ... so
+    ``every == 1`` checkpoints every phase.  Only the latest
+    checkpoint is retained (recovery rolls back to the last cut;
+    multi-version retention would model hierarchical schemes the
+    paper's machine does not have).
+
+    ``alpha``/``bytes_per_second`` price the coordinated write-out:
+    ``alpha + nbytes / (n_nodes * bytes_per_second)`` simulated
+    seconds, every node draining its partition in parallel.
+    """
+
+    def __init__(
+        self,
+        every: int,
+        *,
+        alpha: float = 100.0e-6,
+        bytes_per_second: float = 2.0e9,
+    ) -> None:
+        if not isinstance(every, int) or isinstance(every, bool) or every < 1:
+            raise ResilienceConfigError(
+                f"checkpoint_every must be an int >= 1, got {every!r}",
+                code="PPM303",
+            )
+        if alpha < 0 or bytes_per_second <= 0:
+            raise ResilienceConfigError(
+                "checkpoint cost knobs must be positive "
+                f"(alpha={alpha}, bytes_per_second={bytes_per_second})",
+                code="PPM303",
+            )
+        self.every = every
+        self.alpha = alpha
+        self.bytes_per_second = bytes_per_second
+        self.latest: Checkpoint | None = None
+        #: Running totals for the run report.
+        self.count = 0
+        self.total_bytes = 0
+        self.total_time = 0.0
+
+    # ------------------------------------------------------------------
+    def due(self, phase_index: int) -> bool:
+        """Whether a checkpoint is due after committing this phase."""
+        return (phase_index + 1) % self.every == 0
+
+    def take(self, phase_index: int, runtime) -> Checkpoint:
+        """Capture the committed state after ``phase_index`` and charge
+        the coordinated write-out to every node's clock."""
+        arrays: dict[str, np.ndarray | list[np.ndarray]] = {}
+        nbytes = 0
+        for name, handle in runtime.shared_registry.items():
+            if isinstance(handle, GlobalShared):
+                snap = handle.committed
+                nbytes += snap.nbytes
+                arrays[name] = snap
+            elif isinstance(handle, NodeShared):
+                snaps = [inst.copy() for inst in handle._data]
+                nbytes += sum(s.nbytes for s in snaps)
+                arrays[name] = snaps
+        cluster = runtime.cluster
+        duration = self.alpha + nbytes / (cluster.n_nodes * self.bytes_per_second)
+        # Coordinated: the checkpoint closes with a barrier, so all
+        # clocks land on the same completion time.
+        t_done = max(n.clock.now for n in cluster) + duration
+        for node in cluster:
+            node.clock.merge(t_done)
+            for c in node.core_clocks:
+                c.merge(t_done)
+        ckpt = Checkpoint(phase=phase_index, t=t_done, nbytes=nbytes, arrays=arrays)
+        self.latest = ckpt
+        self.count += 1
+        self.total_bytes += nbytes
+        self.total_time += duration
+        tr = runtime.tracer
+        if tr is not None:
+            tr.emit(
+                CheckpointTaken(
+                    phase=phase_index, nbytes=nbytes, duration=duration, t=t_done
+                )
+            )
+        return ckpt
+
+    def restore(self, runtime) -> None:
+        """Overwrite the run's shared instances with the latest
+        checkpoint's arrays (by name, honouring copy-on-commit)."""
+        ckpt = self.latest
+        if ckpt is None:
+            raise ValueError("no checkpoint to restore")
+        for name, saved in ckpt.arrays.items():
+            handle = runtime.shared_registry.get(name)
+            if handle is None:
+                continue
+            if isinstance(handle, GlobalShared):
+                target = handle._commit_target(None)
+                np.copyto(target, saved)
+            else:
+                for i, inst in enumerate(saved):
+                    target = handle._commit_target(i)
+                    np.copyto(target, inst)

@@ -1,0 +1,363 @@
+"""The runtime-facing resilience orchestrator.
+
+:class:`ResilienceManager` is the single object the PPM engine talks
+to; every hook is gated in :mod:`repro.core.runtime` behind one
+``self.resilience is not None`` pointer test, mirroring the tracer
+pattern, so disabled resilience costs the hot path nothing.
+
+Recovery model (docs/RESILIENCE.md walks through an example):
+
+* An injected crash raises :class:`~repro.core.errors.NodeCrashFault`
+  at a phase *start* — before any body runs and before any write of
+  that phase applies — so the state recovery sees is exactly the last
+  phase-boundary cut.
+* ``run_ppm`` catches the fault and re-executes the driver
+  (*incarnation* loop).  VP locals live in generator frames and cannot
+  be serialized, so the simulator reaches the restored cut by
+  deterministic re-execution: during this *fast-forward* the tracer is
+  detached and fault injection, checkpointing and retry charging are
+  suppressed — the replayed phases are a simulator artifact, not
+  simulated work.
+* At the resume point (the commit of the checkpointed phase, or phase
+  0's start when no checkpoint exists) the manager overwrites the
+  re-computed arrays with the checkpoint, sets every clock to
+  ``t_crash + detection_timeout + restore_time`` — the cost a real
+  system would pay — re-attaches the tracer and emits
+  :class:`~repro.obs.events.Recovery`.  Execution continues live; the
+  phases between the checkpoint and the crash re-run with faults
+  active (that re-execution is the *lost work* a rollback really
+  costs).
+
+Fired crashes are consumed, so replay cannot re-crash and the
+incarnation loop terminates (bounded by ``max_incarnations``).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.core.errors import NodeCrashFault, ResilienceConfigError
+from repro.obs.events import FaultInjected, Recovery, RetryAttempt
+from repro.resilience.checkpoint import CheckpointManager
+from repro.resilience.faults import FaultInjector, FaultPlan
+from repro.resilience.retry import RetryPolicy, deliver_flight
+
+
+@dataclass(frozen=True)
+class ResiliencePolicy:
+    """Cost knobs of the resilience machinery (``run_ppm(...,
+    resilience=)``).  Kept out of the frozen
+    :class:`~repro.config.MachineConfig`: these parameterize the
+    recovery protocol, not the machine."""
+
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    """Timeout/backoff schedule for dropped or corrupted bundles."""
+
+    checkpoint_alpha: float = 100.0e-6
+    """Fixed simulated seconds per coordinated checkpoint."""
+
+    checkpoint_bandwidth: float = 2.0e9
+    """Per-node checkpoint drain rate in bytes/second."""
+
+    detection_timeout: float = 1.0e-3
+    """Simulated seconds between a crash and its cluster-wide
+    detection (heartbeat timeout)."""
+
+    restore_alpha: float = 100.0e-6
+    """Fixed simulated seconds to launch the restore (or the restart,
+    when no checkpoint exists)."""
+
+    restore_bandwidth: float = 2.0e9
+    """Per-node checkpoint read-back rate in bytes/second."""
+
+    max_incarnations: int = 8
+    """Upper bound on driver re-executions before the run aborts."""
+
+    def __post_init__(self) -> None:
+        for name in ("checkpoint_alpha", "detection_timeout", "restore_alpha"):
+            v = getattr(self, name)
+            if not math.isfinite(v) or v < 0:
+                raise ResilienceConfigError(
+                    f"{name} must be non-negative and finite, got {v}",
+                    code="PPM303",
+                )
+        for name in ("checkpoint_bandwidth", "restore_bandwidth"):
+            v = getattr(self, name)
+            if not v > 0:
+                raise ResilienceConfigError(
+                    f"{name} must be positive, got {v}", code="PPM303"
+                )
+        if self.max_incarnations < 1:
+            raise ResilienceConfigError(
+                f"max_incarnations must be >= 1, got {self.max_incarnations}",
+                code="PPM303",
+            )
+
+
+class ResilienceManager:
+    """Orchestrates fault injection, retry charging, checkpointing and
+    crash recovery for one ``run_ppm`` call (across incarnations)."""
+
+    def __init__(
+        self,
+        cluster,
+        *,
+        plan: FaultPlan | None = None,
+        checkpoint_every: int | None = None,
+        policy: ResiliencePolicy | None = None,
+    ) -> None:
+        self.cluster = cluster
+        self.policy = policy if policy is not None else ResiliencePolicy()
+        self.injector = (
+            FaultInjector(plan, cluster.n_nodes) if plan is not None else None
+        )
+        self.checkpoints = (
+            CheckpointManager(
+                checkpoint_every,
+                alpha=self.policy.checkpoint_alpha,
+                bytes_per_second=self.policy.checkpoint_bandwidth,
+            )
+            if checkpoint_every is not None
+            else None
+        )
+        #: The run's PhaseTrace (or None); set by ``run_ppm`` so it can
+        #: be detached during fast-forward and re-attached at resume.
+        self.tracer = None
+        # -- replay state ---------------------------------------------
+        self.replaying = False
+        self._resume_phase = -1
+        self._resume_time = 0.0
+        self._pending: Recovery | None = None
+        # -- counters (run report / CLI) ------------------------------
+        self.faults_injected = 0
+        self.retries = 0
+        self.duplicates_dropped = 0
+        self.recoveries = 0
+        self.incarnations = 0
+
+    # ==================================================================
+    # Incarnation lifecycle (called by run_ppm)
+    # ==================================================================
+    def begin_incarnation(self, runtime) -> None:
+        """Attach to a freshly built runtime; when recovering, detach
+        the tracer for the fast-forward below the restored cut."""
+        self.incarnations += 1
+        if self.replaying:
+            runtime.tracer = None
+            runtime.cluster.network.tracer = None
+
+    def handle_crash(self, crash: NodeCrashFault, runtime) -> None:
+        """Plan the recovery: pick the rollback cut, price detection
+        plus restore, and release node memory so the next incarnation
+        can re-declare its shared variables."""
+        cluster = runtime.cluster
+        t_crash = cluster.elapsed
+        ckpt = self.checkpoints.latest if self.checkpoints is not None else None
+        pol = self.policy
+        if ckpt is not None:
+            restore = pol.restore_alpha + ckpt.nbytes / (
+                cluster.n_nodes * pol.restore_bandwidth
+            )
+            self._resume_phase = ckpt.phase
+            lost_work = t_crash - ckpt.t
+            checkpoint_phase = ckpt.phase
+        else:
+            restore = pol.restore_alpha
+            self._resume_phase = -1
+            lost_work = t_crash
+            checkpoint_phase = -1
+        self._resume_time = t_crash + pol.detection_timeout + restore
+        self._pending = Recovery(
+            phase=crash.phase_index,
+            node=crash.node,
+            checkpoint_phase=checkpoint_phase,
+            t_crash=t_crash,
+            t_resume=self._resume_time,
+            lost_work=lost_work,
+        )
+        self.replaying = True
+        for node in cluster:
+            node.memory.clear()
+
+    # ==================================================================
+    # Phase hooks (called by the engine; one pointer test each when
+    # resilience is off)
+    # ==================================================================
+    def on_phase_start(self, phase_index: int, runtime) -> None:
+        """Crash check (live) or phase-0 resume (recovering with no
+        checkpoint).  Raises :class:`NodeCrashFault` on a planned,
+        unfired crash."""
+        if self.replaying:
+            if self._resume_phase < 0 and phase_index == 0:
+                self._resume(runtime)
+            return
+        if self.injector is not None:
+            crash = self.injector.crash_at(phase_index)
+            if crash is not None:
+                self.injector.consume(crash)
+                raise NodeCrashFault(node=crash.node, phase_index=phase_index)
+
+    def after_commit(self, phase_index: int, runtime) -> None:
+        """Checkpoint when due (live); resume when the fast-forward
+        reaches the restored cut (recovering)."""
+        if self.replaying:
+            if phase_index == self._resume_phase:
+                self._resume(runtime)
+            return
+        if self.checkpoints is not None and self.checkpoints.due(phase_index):
+            self.checkpoints.take(phase_index, runtime)
+
+    def straggler_factor(self, phase_index: int, node_id: int, runtime) -> float:
+        """Compute-time inflation of ``node_id`` this phase (1.0 when
+        clean, recovering, or no plan)."""
+        if self.replaying or self.injector is None:
+            return 1.0
+        factor = self.injector.straggler_factor(phase_index, node_id)
+        if factor != 1.0:
+            self.faults_injected += 1
+            tr = runtime.tracer
+            if tr is not None:
+                tr.emit(
+                    FaultInjected(
+                        phase=phase_index,
+                        fault="straggler",
+                        node=node_id,
+                        src=-1,
+                        dst=-1,
+                        detail=factor,
+                    )
+                )
+        return factor
+
+    def message_penalties(self, phase_index: int, traffic, network) -> dict | None:
+        """Per-node simulated seconds added by message faults on this
+        phase's bundled flights (None when nothing fired).
+
+        Each (node, owner) exchange of the phase is one *flight*; its
+        fault verdict is a pure function of (seed, phase, src, dst),
+        and all recovery cost — backoff waits, retransmit wire time,
+        duplicate handling — is charged to the initiating node's
+        communication time, serialized after the phase's regular
+        traffic (retries cannot start before the loss is detected).
+        """
+        if self.replaying or self.injector is None:
+            return None
+        if not self.injector.plan.has_message_faults:
+            return None
+        cfg = network.config
+        retry = self.policy.retry
+        dup_cpu = cfg.mpi_msg_overhead
+        penalties: dict[int, float] = {}
+        tr = self.tracer
+        for node_id, nt in sorted(traffic.items()):
+            total = 0.0
+            for p in nt.peers:
+                if p.read_elems + p.write_elems == 0:
+                    continue
+                verdict = self.injector.flight(phase_index, node_id, p.owner)
+                if verdict.clean:
+                    continue
+                payload = (p.read_elems + p.write_elems) * p.shared.itemsize
+                resend_bytes = min(payload, cfg.bundle_max_bytes)
+                outcome = deliver_flight(
+                    retry,
+                    verdict,
+                    resend_wire_time=network.message_time(
+                        resend_bytes, intra_node=False
+                    ),
+                    duplicate_cpu_time=dup_cpu,
+                )
+                total += outcome.extra_time
+                self.retries += len(outcome.retries)
+                self.duplicates_dropped += outcome.duplicates
+                self.faults_injected += (
+                    len(verdict.failures)
+                    + (1 if verdict.delay else 0)
+                    + (1 if verdict.duplicate else 0)
+                )
+                if tr is not None:
+                    for reason in verdict.failures[: retry.max_retries]:
+                        tr.emit(
+                            FaultInjected(
+                                phase=phase_index,
+                                fault=reason,
+                                node=-1,
+                                src=node_id,
+                                dst=p.owner,
+                                detail=0.0,
+                            )
+                        )
+                    for attempt, reason, wait in outcome.retries:
+                        tr.emit(
+                            RetryAttempt(
+                                phase=phase_index,
+                                src=node_id,
+                                dst=p.owner,
+                                attempt=attempt,
+                                reason=reason,
+                                backoff=wait,
+                                delivered=attempt == len(outcome.retries),
+                            )
+                        )
+                    if verdict.delay:
+                        tr.emit(
+                            FaultInjected(
+                                phase=phase_index,
+                                fault="delay",
+                                node=-1,
+                                src=node_id,
+                                dst=p.owner,
+                                detail=verdict.delay,
+                            )
+                        )
+                    if verdict.duplicate:
+                        tr.emit(
+                            FaultInjected(
+                                phase=phase_index,
+                                fault="duplicate",
+                                node=-1,
+                                src=node_id,
+                                dst=p.owner,
+                                detail=0.0,
+                            )
+                        )
+            if total:
+                penalties[node_id] = total
+        return penalties or None
+
+    # ------------------------------------------------------------------
+    def _resume(self, runtime) -> None:
+        """The fast-forward reached the restored cut: load the
+        checkpoint, set the clocks to the post-recovery time, re-attach
+        the tracer and go live."""
+        if self.checkpoints is not None and self.checkpoints.latest is not None:
+            if self._resume_phase >= 0:
+                self.checkpoints.restore(runtime)
+        t = self._resume_time
+        for node in runtime.cluster:
+            node.clock.reset(to=t)
+            for c in node.core_clocks:
+                c.reset(to=t)
+        self.replaying = False
+        runtime.tracer = self.tracer
+        runtime.cluster.network.tracer = self.tracer
+        self.recoveries += 1
+        pending, self._pending = self._pending, None
+        if self.tracer is not None and pending is not None:
+            self.tracer.emit(pending)
+
+    # ------------------------------------------------------------------
+    def summary(self) -> dict:
+        """Counter snapshot for CLIs and tests."""
+        ck = self.checkpoints
+        return {
+            "faults_injected": self.faults_injected,
+            "retries": self.retries,
+            "duplicates_dropped": self.duplicates_dropped,
+            "recoveries": self.recoveries,
+            "incarnations": self.incarnations,
+            "checkpoints": ck.count if ck is not None else 0,
+            "checkpoint_bytes": ck.total_bytes if ck is not None else 0,
+            "checkpoint_time_s": ck.total_time if ck is not None else 0.0,
+        }

@@ -89,3 +89,64 @@ class TestPresets:
         cfg = mkconfig()
         assert cfg.n_nodes == 2
         assert cfg.cores_per_node == 2
+
+
+class TestConfigErrorDiagnostics:
+    """Regression tests for the ConfigError validation pass: malformed
+    machine descriptions must fail fast with a typed error instead of
+    surfacing as NaN/garbage simulated times mid-run."""
+
+    def test_config_error_type(self):
+        from repro.core.errors import ConfigError, PpmError
+
+        assert issubclass(ConfigError, PpmError)
+        assert issubclass(ConfigError, ValueError)  # backward compatible
+        with pytest.raises(ConfigError):
+            MachineConfig(n_nodes=0)
+
+    @pytest.mark.parametrize(
+        "knob",
+        [
+            "net_alpha",
+            "net_beta",
+            "intra_alpha",
+            "intra_beta",
+            "flop_time",
+            "mem_access_time",
+            "mpi_msg_overhead",
+            "smartmap_msg_overhead",
+            "barrier_alpha",
+            "ppm_commit_per_element",
+        ],
+    )
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"), -1.0])
+    def test_rejects_non_finite_and_negative_costs(self, knob, bad):
+        from repro.core.errors import ConfigError
+
+        with pytest.raises(ConfigError, match=knob):
+            MachineConfig(**{knob: bad})
+
+    def test_zero_cost_knobs_stay_legal(self):
+        """Zero-cost machines are used by tests to isolate semantics
+        from timing; validation must not outlaw them."""
+        cfg = MachineConfig(net_alpha=0.0, net_beta=0.0, barrier_alpha=0.0)
+        assert cfg.net_alpha == 0.0
+
+    @pytest.mark.parametrize("knob", ["element_bytes", "index_bytes"])
+    def test_rejects_nonpositive_byte_sizes(self, knob):
+        from repro.core.errors import ConfigError
+
+        with pytest.raises(ConfigError, match=knob):
+            MachineConfig(**{knob: 0})
+
+    def test_rejects_nan_overlap_fraction(self):
+        from repro.core.errors import ConfigError
+
+        with pytest.raises(ConfigError, match="overlap_fraction"):
+            MachineConfig(overlap_fraction=float("nan"))
+
+    def test_message_mentions_offending_value(self):
+        from repro.core.errors import ConfigError
+
+        with pytest.raises(ConfigError, match="-5"):
+            MachineConfig(net_alpha=-5.0)

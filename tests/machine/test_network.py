@@ -181,3 +181,57 @@ class TestCollectiveFormulas:
     def test_rejects_zero_participants(self, net):
         with pytest.raises(ValueError):
             net.barrier_time(0)
+
+
+class TestBundleEdgeCases:
+    def test_zero_elements_is_zero_cost(self, net):
+        assert net.bundle(0, False) is ZERO_COST
+        assert net.gather_round_trip(0, False) is ZERO_COST
+
+    def test_single_element_pays_one_message(self, net):
+        cfg = net.config
+        cost = net.bundle(1, False)
+        assert cost.messages == 1
+        assert cost.payload_bytes == cfg.element_bytes + cfg.index_bytes
+        assert cost.wire_time == pytest.approx(
+            cfg.net_alpha + cost.payload_bytes * cfg.net_beta
+        )
+
+    def test_payload_exactly_at_bundle_boundary(self, net):
+        """A payload of exactly bundle_max_bytes is one message; one
+        more element spills into a second."""
+        cfg = net.config
+        per_elem = cfg.element_bytes + cfg.index_bytes
+        assert cfg.bundle_max_bytes % per_elem == 0, "fixture assumption"
+        fit = cfg.bundle_max_bytes // per_elem
+        assert net.bundle(fit, False).messages == 1
+        assert net.bundle(fit + 1, False).messages == 2
+
+    def test_dense_block_skips_index_bytes(self, net):
+        cfg = net.config
+        cost = net.bundle(10, False, with_index=False)
+        assert cost.payload_bytes == 10 * cfg.element_bytes
+
+
+class TestBundleMonotonicity:
+    """bundle() must be monotone in n_elements: more data can never
+    cost fewer messages, bytes or seconds."""
+
+    from hypothesis import given as _given, settings as _settings
+    from hypothesis import strategies as _st
+
+    @_settings(max_examples=200, deadline=None)
+    @_given(
+        n=_st.integers(0, 5000),
+        extra=_st.integers(1, 500),
+        intra=_st.booleans(),
+        with_index=_st.booleans(),
+    )
+    def test_monotone_in_elements(self, n, extra, intra, with_index):
+        net = NetworkModel(MachineConfig(n_nodes=4, cores_per_node=4))
+        a = net.bundle(n, intra, with_index=with_index)
+        b = net.bundle(n + extra, intra, with_index=with_index)
+        assert b.messages >= a.messages
+        assert b.payload_bytes > a.payload_bytes or n + extra == 0
+        assert b.wire_time >= a.wire_time
+        assert b.cpu_time >= a.cpu_time

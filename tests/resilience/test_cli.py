@@ -1,0 +1,29 @@
+"""The ``python -m repro.resilience`` chaos demo."""
+
+from __future__ import annotations
+
+import json
+
+from repro.resilience.__main__ import main
+
+
+class TestDemo:
+    def test_small_check_passes(self, capsys):
+        assert main(["demo", "--small", "--check"]) == 0
+        out = capsys.readouterr().out
+        assert "bitwise-identical solution: True" in out
+        assert "check passed" in out
+        assert "recoveries: 1" in out
+
+    def test_writes_trace(self, tmp_path, capsys):
+        out_file = tmp_path / "chaos.trace.json"
+        assert main(["demo", "--small", "--out", str(out_file)]) == 0
+        payload = json.loads(out_file.read_text())
+        assert payload["schema"] == "ppm-trace"
+        kinds = {e["event"] for e in payload["events"]}
+        assert "fault_injected" in kinds
+        assert "recovery" in kinds
+        assert "checkpoint_taken" in kinds
+
+    def test_usage_error_exits_2(self):
+        assert main(["nonsense"]) == 2

@@ -1,0 +1,135 @@
+"""Fault-plan validation and injector determinism."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import ResilienceConfigError
+from repro.resilience import FaultInjector, FaultPlan
+
+
+class TestPlanValidation:
+    def test_rejects_probability_of_one(self):
+        # p == 1 would make every attempt fail: the flight never
+        # delivers and the retry loop only ends at the escalation cap.
+        with pytest.raises(ResilienceConfigError, match="PPM301"):
+            FaultPlan().drop_messages(1.0)
+
+    @pytest.mark.parametrize("p", [-0.1, float("nan"), float("inf"), 2.0])
+    def test_rejects_bad_probabilities(self, p):
+        with pytest.raises(ResilienceConfigError, match="PPM301"):
+            FaultPlan().corrupt_messages(p)
+
+    def test_rejects_negative_delay(self):
+        with pytest.raises(ResilienceConfigError, match="PPM301"):
+            FaultPlan().delay_messages(0.1, -1e-6)
+
+    @pytest.mark.parametrize("node", [-1, 1.5, True, "0"])
+    def test_rejects_bad_crash_node(self, node):
+        with pytest.raises(ResilienceConfigError, match="PPM302"):
+            FaultPlan().crash(node=node, phase=0)
+
+    def test_rejects_negative_crash_phase(self):
+        with pytest.raises(ResilienceConfigError, match="PPM302"):
+            FaultPlan().crash(node=0, phase=-1)
+
+    @pytest.mark.parametrize("factor", [0.5, 0.0, -1.0, float("nan")])
+    def test_rejects_straggler_factor_below_one(self, factor):
+        with pytest.raises(ResilienceConfigError, match="PPM305"):
+            FaultPlan().straggle(node=0, factor=factor)
+
+    def test_chaining_returns_self(self):
+        plan = FaultPlan(seed=1).drop_messages(0.1).crash(node=0, phase=3)
+        assert isinstance(plan, FaultPlan)
+        assert plan.has_message_faults
+        assert len(plan.crashes) == 1
+
+    def test_no_message_faults_without_message_rules(self):
+        assert not FaultPlan().crash(node=0, phase=1).has_message_faults
+
+
+class TestInjectorBinding:
+    def test_crash_node_range_checked_against_cluster(self):
+        plan = FaultPlan().crash(node=4, phase=0)
+        with pytest.raises(ResilienceConfigError, match="PPM302"):
+            FaultInjector(plan, 4)
+
+    def test_straggler_node_range_checked_against_cluster(self):
+        plan = FaultPlan().straggle(node=2, factor=2.0)
+        with pytest.raises(ResilienceConfigError, match="PPM302"):
+            FaultInjector(plan, 2)
+
+
+class TestDeterminism:
+    def test_same_coordinates_same_verdict(self):
+        plan = FaultPlan(seed=42).drop_messages(0.5).duplicate_messages(0.3)
+        a = FaultInjector(plan, 4)
+        b = FaultInjector(plan, 4)
+        for phase in range(20):
+            for src in range(4):
+                for dst in range(4):
+                    va = a.flight(phase, src, dst)
+                    vb = b.flight(phase, src, dst)
+                    assert va.failures == vb.failures
+                    assert va.delay == vb.delay
+                    assert va.duplicate == vb.duplicate
+
+    def test_repeated_query_is_pure(self):
+        inj = FaultInjector(FaultPlan(seed=7).drop_messages(0.5), 2)
+        first = [inj.flight(p, 0, 1).failures for p in range(50)]
+        second = [inj.flight(p, 0, 1).failures for p in range(50)]
+        assert first == second
+
+    def test_seed_changes_verdicts(self):
+        def pattern(seed):
+            inj = FaultInjector(FaultPlan(seed=seed).drop_messages(0.5), 2)
+            return [len(inj.flight(p, 0, 1).failures) for p in range(64)]
+
+        assert pattern(1) != pattern(2)
+
+
+class TestTargeting:
+    def test_phase_filter(self):
+        plan = FaultPlan(seed=0).drop_messages(0.999999, phases=[3])
+        inj = FaultInjector(plan, 2)
+        assert inj.flight(3, 0, 1).failures
+        assert inj.flight(4, 0, 1).clean
+
+    def test_src_dst_filter(self):
+        plan = FaultPlan(seed=0).drop_messages(0.999999, src=0, dst=1)
+        inj = FaultInjector(plan, 3)
+        assert inj.flight(0, 0, 1).failures
+        assert inj.flight(0, 1, 0).clean
+        assert inj.flight(0, 0, 2).clean
+
+    def test_flight_caps_consecutive_failures(self):
+        plan = FaultPlan(seed=0).drop_messages(0.999999)
+        inj = FaultInjector(plan, 2, max_attempts=5)
+        v = inj.flight(0, 0, 1)
+        assert len(v.failures) == 4  # the 5th attempt escalates through
+
+
+class TestCrashSchedule:
+    def test_crash_fires_once(self):
+        inj = FaultInjector(FaultPlan().crash(node=1, phase=5), 2)
+        crash = inj.crash_at(5)
+        assert crash is not None and crash.node == 1
+        inj.consume(crash)
+        assert inj.crash_at(5) is None, "consumed crash must not re-fire"
+
+    def test_no_crash_on_other_phases(self):
+        inj = FaultInjector(FaultPlan().crash(node=0, phase=5), 2)
+        assert inj.crash_at(4) is None
+
+
+class TestStragglers:
+    def test_factor_multiplies(self):
+        plan = (
+            FaultPlan()
+            .straggle(node=1, factor=2.0)
+            .straggle(node=1, factor=3.0, phases=[0])
+        )
+        inj = FaultInjector(plan, 2)
+        assert inj.straggler_factor(0, 1) == pytest.approx(6.0)
+        assert inj.straggler_factor(1, 1) == pytest.approx(2.0)
+        assert inj.straggler_factor(0, 0) == 1.0

@@ -1,0 +1,216 @@
+"""Crash recovery: the headline property is that a run with injected
+faults commits results bitwise-identical to a fault-free run, while
+its simulated clock pays for the faults.
+
+Faults only ever add simulated time (retransmits, backoff waits,
+detection, restore, re-executed lost work) — never mutate payloads —
+and a phase boundary is a consistent global cut, so recovery by
+rollback + deterministic replay reproduces the exact committed state.
+docs/RESILIENCE.md states the argument; these tests check it end to
+end on the paper's applications.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import testing as mkconfig
+from repro.core import run_ppm
+from repro.core.errors import ResilienceError
+from repro.machine import Cluster
+from repro.obs import RunReport
+from repro.obs.events import PhaseTrace
+from repro.resilience import FaultPlan, ResiliencePolicy
+
+
+def _cluster(n_nodes=2, **kw):
+    return Cluster(mkconfig(n_nodes=n_nodes, cores_per_node=2, **kw))
+
+
+def _cg_main(nx=4, iters=5):
+    from repro.apps.cg.ppm_cg import _cg_kernel
+    from repro.apps.cg.problem import build_chimney_problem
+
+    prob = build_chimney_problem(nx)
+
+    def main(ppm):
+        n = prob.n
+        xs = ppm.global_shared("cg_x", n)
+        rs = ppm.global_shared("cg_r", n)
+        ps = ppm.global_shared("cg_p", n)
+        qs = ppm.global_shared("cg_q", n)
+        stats = ppm.global_shared("cg_stats", 3)
+        rs[:] = prob.b
+        ps[:] = prob.b
+        ppm.reset_clocks()
+        ppm.do(4, _cg_kernel, prob.A, xs, rs, ps, qs, stats, 1.0, iters, 0.0)
+        return xs.committed
+
+    return main
+
+
+class TestDefaultPathUntouched:
+    def test_no_resilience_manager_by_default(self):
+        ppm, _ = run_ppm(_cg_main(), _cluster())
+        assert ppm.runtime.resilience is None
+
+    def test_rejects_non_policy_resilience(self):
+        with pytest.raises(ValueError, match="ResiliencePolicy"):
+            run_ppm(_cg_main(), _cluster(), resilience="aggressive")
+
+
+class TestCrashRecovery:
+    def test_crash_with_checkpoint_bitwise_identical(self):
+        main = _cg_main()
+        _, x_clean = run_ppm(main, _cluster())
+        plan = FaultPlan(seed=5).crash(node=1, phase=7)
+        trace = PhaseTrace()
+        ppm, x = run_ppm(
+            main, _cluster(), faults=plan, checkpoint_every=3, trace=trace
+        )
+        assert np.array_equal(x, x_clean)
+        mgr = ppm.runtime.resilience
+        assert mgr.recoveries == 1
+        assert mgr.incarnations == 2
+        recs = [e for e in trace.events if e.kind == "recovery"]
+        assert len(recs) == 1
+        rec = recs[0]
+        assert rec.phase == 7 and rec.node == 1
+        assert rec.checkpoint_phase == 5  # last multiple-of-3 boundary
+        assert rec.t_resume > rec.t_crash
+        # Rolled back to a checkpoint, so only the work since that cut
+        # was lost — strictly less than restarting the whole run.
+        assert 0 <= rec.lost_work < rec.t_crash
+
+    def test_crash_without_checkpoint_restarts_from_scratch(self):
+        main = _cg_main()
+        _, x_clean = run_ppm(main, _cluster())
+        plan = FaultPlan(seed=5).crash(node=0, phase=4)
+        trace = PhaseTrace()
+        ppm, x = run_ppm(main, _cluster(), faults=plan, trace=trace)
+        assert np.array_equal(x, x_clean)
+        rec = next(e for e in trace.events if e.kind == "recovery")
+        assert rec.checkpoint_phase == -1
+        assert rec.lost_work == pytest.approx(rec.t_crash)
+
+    def test_crash_costs_simulated_time(self):
+        main = _cg_main()
+        ppm_clean, _ = run_ppm(main, _cluster())
+        plan = FaultPlan(seed=5).crash(node=1, phase=7)
+        ppm, _ = run_ppm(main, _cluster(), faults=plan, checkpoint_every=3)
+        pol = ppm.runtime.resilience.policy
+        assert ppm.elapsed > ppm_clean.elapsed + pol.detection_timeout
+
+    def test_two_crashes_two_recoveries(self):
+        main = _cg_main()
+        _, x_clean = run_ppm(main, _cluster())
+        plan = (
+            FaultPlan(seed=5).crash(node=0, phase=3).crash(node=1, phase=9)
+        )
+        ppm, x = run_ppm(main, _cluster(), faults=plan, checkpoint_every=2)
+        assert np.array_equal(x, x_clean)
+        assert ppm.runtime.resilience.recoveries == 2
+
+    def test_max_incarnations_aborts_eventually(self):
+        main = _cg_main()
+        plan = FaultPlan(seed=5)
+        for ph in range(4):
+            plan = plan.crash(node=0, phase=ph)
+        with pytest.raises(ResilienceError, match="incarnations"):
+            run_ppm(
+                main,
+                _cluster(),
+                faults=plan,
+                resilience=ResiliencePolicy(max_incarnations=2),
+            )
+
+
+class TestMessageFaults:
+    def test_drops_charge_retries_but_preserve_results(self):
+        main = _cg_main()
+        ppm_clean, x_clean = run_ppm(main, _cluster())
+        plan = (
+            FaultPlan(seed=3)
+            .drop_messages(0.5)
+            .duplicate_messages(0.3)
+            .delay_messages(0.2, 20e-6)
+        )
+        trace = PhaseTrace()
+        ppm, x = run_ppm(main, _cluster(), faults=plan, trace=trace)
+        assert np.array_equal(x, x_clean)
+        mgr = ppm.runtime.resilience
+        assert mgr.retries > 0
+        assert ppm.elapsed > ppm_clean.elapsed
+        assert any(e.kind == "retry_attempt" for e in trace.events)
+        report = RunReport.from_trace(trace)
+        assert report.resilience is not None
+        assert report.resilience.retries == mgr.retries
+
+    def test_straggler_inflates_elapsed_only(self):
+        main = _cg_main()
+        ppm_clean, x_clean = run_ppm(main, _cluster())
+        plan = FaultPlan(seed=1).straggle(node=0, factor=3.0)
+        ppm, x = run_ppm(main, _cluster(), faults=plan)
+        assert np.array_equal(x, x_clean)
+        assert ppm.elapsed > ppm_clean.elapsed
+
+    def test_fault_free_report_has_no_resilience_section(self):
+        trace = PhaseTrace()
+        run_ppm(_cg_main(), _cluster(), trace=trace)
+        report = RunReport.from_trace(trace)
+        assert report.resilience is None
+
+
+class TestRecoveryEquivalenceProperty:
+    """Hypothesis: for any seed, crash site and checkpoint interval,
+    recovery reproduces the fault-free committed state exactly."""
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        seed=st.integers(0, 2**31 - 1),
+        crash_phase=st.integers(1, 14),
+        every=st.one_of(st.none(), st.integers(1, 6)),
+    )
+    def test_cg_recovery_equivalence(self, seed, crash_phase, every):
+        main = _cg_main()
+        _, x_clean = run_ppm(main, _cluster())
+        plan = (
+            FaultPlan(seed=seed)
+            .drop_messages(0.2)
+            .crash(node=seed % 2, phase=crash_phase)
+        )
+        _, x = run_ppm(main, _cluster(), faults=plan, checkpoint_every=every)
+        assert np.array_equal(x, x_clean)
+
+    @settings(max_examples=6, deadline=None)
+    @given(seed=st.integers(0, 2**31 - 1), crash_phase=st.integers(1, 5))
+    def test_bfs_recovery_equivalence(self, seed, crash_phase):
+        from repro.apps.graph import hashed_graph, ppm_bfs
+
+        graph = hashed_graph(300, degree=4, seed=7)
+        clean, _ = ppm_bfs(graph, 0, _cluster())
+        plan = (
+            FaultPlan(seed=seed)
+            .drop_messages(0.2)
+            .crash(node=0, phase=crash_phase)
+        )
+        dist, _ = ppm_bfs(
+            graph, 0, _cluster(), faults=plan, checkpoint_every=2
+        )
+        assert np.array_equal(dist, clean)
+
+    @settings(max_examples=6, deadline=None)
+    @given(seed=st.integers(0, 2**31 - 1), crash_phase=st.integers(1, 8))
+    def test_multigrid_recovery_equivalence(self, seed, crash_phase):
+        from repro.apps.multigrid import build_mg_problem, ppm_mg_solve
+
+        problem = build_mg_problem(levels=4)
+        clean, _ = ppm_mg_solve(problem, _cluster(), cycles=2)
+        plan = FaultPlan(seed=seed).crash(node=1, phase=crash_phase)
+        u, _ = ppm_mg_solve(
+            problem, _cluster(), cycles=2, faults=plan, checkpoint_every=3
+        )
+        assert np.array_equal(u, clean)

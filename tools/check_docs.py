@@ -8,9 +8,9 @@ Two passes, both offline:
    match a heading anchor (GitHub slug rules) or explicit HTML anchor
    in the target document.  External (``http(s)://``, ``mailto:``)
    links are ignored.
-2. **Examples** — fenced ```python blocks in README.md and
-   docs/OBSERVABILITY.md are executed *sequentially in one namespace
-   per file* (so later blocks may use names defined by earlier ones),
+2. **Examples** — fenced ```python blocks in README.md,
+   docs/OBSERVABILITY.md and docs/RESILIENCE.md are executed
+   *sequentially in one namespace per file* (so later blocks may use names defined by earlier ones),
    exactly as a reader following the document would.  A block preceded
    by an HTML comment containing ``doctest: skip`` is not executed.
 
@@ -45,10 +45,11 @@ LINK_DOCS = [
     "docs/DIAGNOSTICS.md",
     "docs/SEMANTICS.md",
     "docs/COST_MODEL.md",
+    "docs/RESILIENCE.md",
 ]
 
 #: Documents whose ```python blocks are executed.
-EXEC_DOCS = ["README.md", "docs/OBSERVABILITY.md"]
+EXEC_DOCS = ["README.md", "docs/OBSERVABILITY.md", "docs/RESILIENCE.md"]
 
 _LINK_RE = re.compile(r"(?<!!)\[[^\]]+\]\(([^)\s]+)\)")
 _FENCE_RE = re.compile(r"^```(\w*)\s*$")
