@@ -1,12 +1,24 @@
-"""Command-line entry point for the static PPM linter.
+"""Command-line entry point for the static PPM analyzers.
 
 Usage::
 
     python -m repro.analysis [--strict] [--json] [--list-rules] PATH...
+    python -m repro.analysis verify [--strict] [--json]
+                                    [--sarif FILE] [--baseline FILE]
+                                    [--write-baseline FILE] PATH...
+    python -m repro.analysis --explain PPM401
+
+The bare form runs the AST lint pass (rules PPM1xx).  ``verify`` runs
+lint *plus* the symbolic dataflow verifier (rules PPM4xx,
+docs/ANALYSIS.md) and prints a per-kernel certificate summary;
+``--sarif`` writes a SARIF 2.1.0 log, ``--baseline`` suppresses
+previously accepted findings and ``--write-baseline`` records the
+current findings as that file.  ``--explain`` prints the rule's
+docs/DIAGNOSTICS.md section.
 
 Exit status: 0 when no error-severity finding was produced (warnings
 alone do not fail the run unless ``--strict``), 1 when findings fail
-the run, 2 on usage errors such as a missing path.
+the run, 2 on usage errors such as a missing path or unknown rule id.
 """
 
 from __future__ import annotations
@@ -14,7 +26,9 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from pathlib import Path
 
+from repro.analysis.diagnostics import ALL_CODES
 from repro.analysis.lint import lint_paths
 from repro.analysis.rules import ALL_RULES
 
@@ -22,13 +36,17 @@ from repro.analysis.rules import ALL_RULES
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis",
-        description="Static lint pass for PPM programs (rules PPM101-PPM105).",
+        description=(
+            "Static analysis for PPM programs: lint (PPM1xx) and, via the "
+            "'verify' subcommand, symbolic phase-dataflow verification "
+            "(PPM4xx) with conflict-freedom certificates."
+        ),
     )
     parser.add_argument(
         "paths",
         nargs="*",
         metavar="PATH",
-        help="Python files or directories to lint (directories recurse).",
+        help="Python files or directories to analyze (directories recurse).",
     )
     parser.add_argument(
         "--strict",
@@ -39,24 +57,197 @@ def _build_parser() -> argparse.ArgumentParser:
         "--json",
         action="store_true",
         dest="as_json",
-        help="emit findings as a JSON array instead of text lines",
+        help="emit findings as a JSON object instead of text lines",
     )
     parser.add_argument(
         "--list-rules",
         action="store_true",
         help="print the registered rules and exit",
     )
+    parser.add_argument(
+        "--explain",
+        metavar="PPMxxx",
+        help="print the rule's docs/DIAGNOSTICS.md section and exit",
+    )
+    parser.add_argument(
+        "--sarif",
+        metavar="FILE",
+        help="(verify) write findings as a SARIF 2.1.0 log",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        help="(verify) suppress findings recorded in this baseline file",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        metavar="FILE",
+        dest="write_baseline",
+        help="(verify) record the current findings as a baseline file",
+    )
     return parser
 
 
+# ----------------------------------------------------------------------
+# --explain
+# ----------------------------------------------------------------------
+def _diagnostics_doc() -> Path | None:
+    candidate = Path(__file__).resolve().parents[3] / "docs" / "DIAGNOSTICS.md"
+    return candidate if candidate.is_file() else None
+
+
+def explain_rule(code: str) -> str | None:
+    """The docs/DIAGNOSTICS.md section of ``code`` (falls back to the
+    registry one-liner when the docs tree is unavailable)."""
+    code = code.upper()
+    if code not in ALL_CODES:
+        return None
+    doc = _diagnostics_doc()
+    if doc is not None:
+        lines = doc.read_text(encoding="utf-8").splitlines()
+        try:
+            start = lines.index(f"### {code}")
+        except ValueError:
+            start = None
+        if start is not None:
+            body = [lines[start]]
+            for line in lines[start + 1:]:
+                if line.startswith(("### ", "## ", "---")):
+                    break
+                body.append(line)
+            return "\n".join(body).rstrip() + "\n"
+    return f"### {code}\n\n{ALL_CODES[code]}\n"
+
+
+# ----------------------------------------------------------------------
+# verify
+# ----------------------------------------------------------------------
+def _run_verify(args, parser) -> int:
+    from repro.analysis.dataflow import verify_paths
+    from repro.analysis.sarif import (
+        apply_baseline,
+        load_baseline,
+        write_baseline,
+        write_sarif,
+    )
+
+    if not args.paths:
+        parser.print_usage(sys.stderr)
+        print("error: no paths given", file=sys.stderr)
+        return 2
+    try:
+        findings, summaries = verify_paths(args.paths)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    baseline = load_baseline(args.baseline) if args.baseline else set()
+    active, suppressed = apply_baseline(findings, baseline)
+
+    if args.write_baseline:
+        write_baseline(findings, args.write_baseline)
+    if args.sarif:
+        write_sarif(
+            findings,
+            args.sarif,
+            suppressed={f for f in baseline},
+        )
+
+    if args.as_json:
+        print(
+            json.dumps(
+                {
+                    "findings": [d.to_dict() for d in active],
+                    "suppressed": [d.to_dict() for d in suppressed],
+                    "kernels": [
+                        {
+                            "name": s.name,
+                            "path": s.path,
+                            "analyzable": s.analyzable,
+                            "certified": s.certified,
+                            "reason": s.reason,
+                            "phases": [
+                                {
+                                    "yield_line": p.yield_lineno,
+                                    "kind": p.kind,
+                                    "certified": p.certified,
+                                    "accesses": len(p.accesses),
+                                }
+                                for p in s.phases
+                            ],
+                            "dependence_edges": [
+                                {
+                                    "variable": e.variable,
+                                    "src_phase_line": e.src_phase,
+                                    "dst_phase_line": e.dst_phase,
+                                    "kind": e.kind,
+                                }
+                                for e in s.edges
+                            ],
+                        }
+                        for s in summaries
+                    ],
+                },
+                indent=2,
+            )
+        )
+    else:
+        for diag in active:
+            print(diag.format())
+        for s in summaries:
+            if s.certified:
+                status = "certified conflict-free"
+            elif not s.analyzable:
+                status = f"not analyzable ({s.reason})"
+            else:
+                good = sum(1 for p in s.phases if p.certified)
+                status = f"{good}/{len(s.phases)} phases certified"
+            print(f"{s.path}: {s.name}: {status}")
+        if suppressed:
+            print(f"{len(suppressed)} finding(s) suppressed by baseline")
+
+    n_err = sum(1 for d in active if d.severity == "error")
+    n_warn = sum(1 for d in active if d.severity == "warning")
+    if not args.as_json:
+        if active:
+            print(f"{n_err} error(s), {n_warn} warning(s)")
+        else:
+            print("clean: no findings")
+    failed = n_err > 0 or (args.strict and n_warn > 0)
+    return 1 if failed else 0
+
+
 def main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    verify = bool(argv) and argv[0] == "verify"
+    if verify:
+        argv = argv[1:]
     parser = _build_parser()
     args = parser.parse_args(argv)
+
+    if args.explain:
+        text = explain_rule(args.explain)
+        if text is None:
+            print(
+                f"error: unknown rule id {args.explain!r} "
+                f"(known: {', '.join(sorted(ALL_CODES))})",
+                file=sys.stderr,
+            )
+            return 2
+        print(text, end="")
+        return 0
 
     if args.list_rules:
         for rule in ALL_RULES:
             print(f"{rule.rule_id}  [{rule.severity:7s}]  {rule.summary}")
+        if verify:
+            for code in ("PPM401", "PPM402", "PPM403", "PPM404"):
+                print(f"{code}  [dataflow]  {ALL_CODES[code]}")
         return 0
+
+    if verify:
+        return _run_verify(args, parser)
 
     if not args.paths:
         parser.print_usage(sys.stderr)

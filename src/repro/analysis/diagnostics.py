@@ -20,6 +20,19 @@ PPM202     mixed plain write + accumulate on one element from distinct
            VPs (sanitizer)
 PPM203     benign overlap: distinct VPs plain-wrote identical values
            to one element (sanitizer, warning)
+PPM301     malformed fault probability/delay (resilience config)
+PPM302     invalid fault target node/phase (resilience config)
+PPM303     invalid checkpoint/recovery policy (resilience config)
+PPM304     invalid retry policy (resilience config)
+PPM305     invalid straggler factor (resilience config)
+PPM401     provable write-write overlap between distinct VPs in one
+           phase (dataflow verifier)
+PPM402     same-VP read of rows written earlier in the phase; the read
+           observes the phase-start snapshot (dataflow verifier)
+PPM403     accumulate-operator mismatch on overlapping index sets
+           (dataflow verifier)
+PPM404     unanalyzable access — the index expression escapes the
+           affine domain, so disjointness is unprovable (dataflow)
 =========  ============================================================
 
 Each rule id anchors a section of docs/DIAGNOSTICS.md (e.g.
@@ -34,16 +47,42 @@ from dataclasses import dataclass, field
 #: Severity levels, most severe first.
 SEVERITIES = ("error", "warning", "note")
 
+#: Every stable rule id, with a one-line summary.  ``--explain`` and
+#: the docs tests key off this registry: each code must anchor a
+#: ``### PPMxxx`` section of docs/DIAGNOSTICS.md.
+ALL_CODES: dict[str, str] = {
+    "PPM100": "source file could not be parsed (lint fallback)",
+    "PPM101": "shared-variable access in the VP-private prologue",
+    "PPM102": "global-shared write inside a node phase",
+    "PPM103": "plain-write read-modify-write that should be accumulate",
+    "PPM104": "read after write of one shared variable in one phase",
+    "PPM105": "hard-coded VP count in ppm.do",
+    "PPM201": "rank-order-dependent write conflict (dynamic)",
+    "PPM202": "mixed plain write + accumulate on one element (dynamic)",
+    "PPM203": "benign identical-value overlap (dynamic, warning)",
+    "PPM301": "malformed fault probability or delay",
+    "PPM302": "invalid fault target",
+    "PPM303": "invalid checkpoint/recovery policy",
+    "PPM304": "invalid retry policy",
+    "PPM305": "invalid straggler factor",
+    "PPM401": "provable cross-VP write-write overlap in one phase",
+    "PPM402": "same-VP read after write; snapshot semantics apply",
+    "PPM403": "accumulate-operator mismatch on overlapping rows",
+    "PPM404": "index expression escapes the affine domain",
+    "PPM405": "do() callee could not be resolved statically",
+}
+
 
 @dataclass(frozen=True)
 class Diagnostic:
     """One finding of the sanitizer or the linter."""
 
     tool: str
-    """``"sanitizer"`` or ``"lint"``."""
+    """``"sanitizer"``, ``"lint"`` or ``"dataflow"``."""
 
     rule: str
-    """Stable rule id (``PPM1xx`` lint, ``PPM2xx`` sanitizer)."""
+    """Stable rule id (``PPM1xx`` lint, ``PPM2xx`` sanitizer,
+    ``PPM4xx`` dataflow verifier)."""
 
     severity: str
     """``"error"``, ``"warning"`` or ``"note"``."""
@@ -72,11 +111,23 @@ class Diagnostic:
             )
 
     def format(self) -> str:
-        """One-line rendering, ``path:line:`` prefixed for lint
-        findings and phase/variable-prefixed for sanitizer ones."""
+        """One-line rendering, ``path:line:`` prefixed for static
+        (lint/dataflow) findings and phase/variable-prefixed for
+        sanitizer ones."""
         if self.tool == "lint":
             loc = f"{self.path or '<source>'}:{self.line or 0}: "
             return f"{loc}{self.rule} [{self.severity}] {self.message}"
+        if self.tool == "dataflow":
+            loc = f"{self.path or '<source>'}:{self.line or 0}: "
+            where = []
+            if self.phase_index is not None:
+                where.append(f"phase {self.phase_index} ({self.phase_kind})")
+            if self.variable is not None:
+                where.append(f"var {self.variable!r}")
+            ctx = "; ".join(where)
+            return f"{loc}{self.rule} [{self.severity}] {self.message}" + (
+                f" ({ctx})" if ctx else ""
+            )
         where = []
         if self.phase_index is not None:
             where.append(f"phase {self.phase_index} ({self.phase_kind})")
@@ -105,6 +156,14 @@ class Diagnostic:
         if self.tool == "lint":
             out["path"] = self.path
             out["line"] = self.line
+        elif self.tool == "dataflow":
+            out.update(
+                path=self.path,
+                line=self.line,
+                phase_index=self.phase_index,
+                phase_kind=self.phase_kind,
+                variable=self.variable,
+            )
         else:
             out.update(
                 phase_index=self.phase_index,

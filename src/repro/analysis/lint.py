@@ -71,12 +71,22 @@ class PhaseYield:
 
 @dataclass
 class DoCall:
-    """One ``*.do(K, func, ...)`` launch site."""
+    """One ``*.do(K, func, ...)`` launch site.
+
+    The callee is resolved through local aliasing (``k = _kernel``)
+    and ``functools.partial`` wrapping; ``partial_args`` /
+    ``partial_kwargs`` carry the argument expressions a partial bound
+    ahead of the context.  ``func_name`` stays ``None`` when the
+    callee cannot be resolved statically (``unresolved_reason`` says
+    why — rule PPM405 reports it)."""
 
     node: ast.Call
     k_expr: ast.expr
     func_name: str | None
     lineno: int
+    partial_args: list = field(default_factory=list)
+    partial_kwargs: dict = field(default_factory=dict)
+    unresolved_reason: str | None = None
 
 
 @dataclass
@@ -111,6 +121,9 @@ class ModuleModel:
     shared_vars: dict[str, SharedVar] = field(default_factory=dict)
     do_calls: list[DoCall] = field(default_factory=list)
     functions: list[FunctionModel] = field(default_factory=list)
+    module_func_names: set = field(default_factory=set)
+    """Every function defined anywhere in the module (PPM or not);
+    rule PPM405 treats do-callees outside this set as unanalyzed."""
 
 
 # ======================================================================
@@ -141,6 +154,58 @@ def _is_ppm_function(fn: ast.FunctionDef) -> bool:
         if isinstance(target, ast.Attribute) and target.attr in _PPM_DECORATORS:
             return True
     return False
+
+
+def _is_partial_call(expr: ast.expr) -> bool:
+    if not isinstance(expr, ast.Call):
+        return False
+    func = expr.func
+    return (isinstance(func, ast.Name) and func.id == "partial") or (
+        isinstance(func, ast.Attribute) and func.attr == "partial"
+    )
+
+
+def _resolve_callee(
+    expr: ast.expr, aliases: dict[str, ast.expr], depth: int = 0
+) -> tuple[str | None, list, dict, str | None]:
+    """Resolve a ``do`` callee expression to its underlying function.
+
+    Follows simple local aliasing (``k = _kernel``) and peels
+    ``functools.partial`` wrappers, accumulating the partially-applied
+    argument expressions.  Returns ``(func_name, partial_args,
+    partial_kwargs, unresolved_reason)`` — ``func_name`` is ``None``
+    exactly when ``unresolved_reason`` is set.
+    """
+    if depth > 8:
+        return None, [], {}, "alias chain deeper than 8 links"
+    if isinstance(expr, ast.Name):
+        if expr.id in aliases:
+            target = aliases[expr.id]
+            if target is None:  # poisoned: rebound in this module
+                return None, [], {}, (
+                    f"name {expr.id!r} is rebound in this module"
+                )
+            return _resolve_callee(target, aliases, depth + 1)
+        return expr.id, [], {}, None
+    if _is_partial_call(expr):
+        if not expr.args:
+            return None, [], {}, "functools.partial(...) with no target"
+        name, pargs, pkwargs, reason = _resolve_callee(
+            expr.args[0], aliases, depth + 1
+        )
+        pargs = pargs + list(expr.args[1:])
+        pkwargs = dict(pkwargs)
+        pkwargs.update(
+            (kw.arg, kw.value) for kw in expr.keywords if kw.arg is not None
+        )
+        return name, pargs, pkwargs, reason
+    if isinstance(expr, ast.Lambda):
+        return None, [], {}, "lambda callee (name the kernel instead)"
+    try:
+        shown = ast.unparse(expr)
+    except Exception:  # pragma: no cover
+        shown = "<expression>"
+    return None, [], {}, f"dynamic callee expression `{shown}`"
 
 
 def _yield_kind(value: ast.expr | None) -> str | None:
@@ -273,7 +338,11 @@ def build_module_model(source: str, path: str = "<source>") -> ModuleModel:
     tree = ast.parse(source, filename=path)
     model = ModuleModel(path=path, tree=tree)
 
-    # Pass 1: shared declarations and do-launch sites, module-wide.
+    # Pass 1: shared declarations, callee aliases and do-launch sites,
+    # module-wide.  Alias entries record simple single-target
+    # assignments whose value could denote a kernel (a bare name or a
+    # functools.partial call) so do-callees resolve through them.
+    aliases: dict[str, ast.expr] = {}
     for node in ast.walk(tree):
         if isinstance(node, ast.Assign) and len(node.targets) == 1:
             target = node.targets[0]
@@ -284,22 +353,39 @@ def build_module_model(source: str, path: str = "<source>") -> ModuleModel:
                     model.shared_vars[target.id] = SharedVar(
                         target.id, kind, container, node.lineno
                     )
+                elif isinstance(node.value, ast.Name) or _is_partial_call(
+                    node.value
+                ):
+                    if target.id in aliases:
+                        # Rebinding makes the alias ambiguous; poison it
+                        # (the callee then reports as unresolved).
+                        aliases[target.id] = None
+                    else:
+                        aliases[target.id] = node.value
         if (
             isinstance(node, ast.Call)
             and isinstance(node.func, ast.Attribute)
             and node.func.attr == "do"
             and len(node.args) >= 2
         ):
-            func_arg = node.args[1]
-            func_name = func_arg.id if isinstance(func_arg, ast.Name) else None
             model.do_calls.append(
-                DoCall(node=node, k_expr=node.args[0], func_name=func_name,
+                DoCall(node=node, k_expr=node.args[0], func_name=None,
                        lineno=node.lineno)
             )
+    for call in model.do_calls:
+        name, pargs, pkwargs, reason = _resolve_callee(
+            call.node.args[1], aliases
+        )
+        call.func_name = name
+        call.partial_args = pargs
+        call.partial_kwargs = pkwargs
+        call.unresolved_reason = reason
 
     # Pass 2: PPM functions with phase segmentation.
     functions_by_name: dict[str, FunctionModel] = {}
     for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            model.module_func_names.add(node.name)
         if isinstance(node, ast.FunctionDef) and _is_ppm_function(node):
             params = [a.arg for a in node.args.args]
             fn = FunctionModel(
@@ -315,14 +401,32 @@ def build_module_model(source: str, path: str = "<source>") -> ModuleModel:
             model.functions.append(fn)
 
     # Pass 3: map shared arguments of do-launches onto callee params.
+    # With ``functools.partial(f, p1..pk)``, the callee is invoked as
+    # ``f(p1..pk, ctx, *do_args)`` — the partial's args bind the
+    # leading params, the context sits at index k, and the do-site
+    # args bind the rest.
     for call in model.do_calls:
         fn = functions_by_name.get(call.func_name or "")
         if fn is None:
             continue
-        params = [a.arg for a in fn.node.args.args][1:]  # skip ctx
-        bound: list[tuple[str, ast.expr]] = list(zip(params, call.node.args[2:]))
+        params_all = [a.arg for a in fn.node.args.args]
+        off = len(call.partial_args)
+        if off >= len(params_all):
+            continue
+        if off:
+            fn.ctx_name = params_all[off]
+        params = params_all[off + 1:]  # skip ctx
+        bound: list[tuple[str, ast.expr]] = list(
+            zip(params_all[:off], call.partial_args)
+        )
+        bound += list(zip(params, call.node.args[2:]))
         bound += [
             (kw.arg, kw.value) for kw in call.node.keywords if kw.arg in params
+        ]
+        bound += [
+            (name, value)
+            for name, value in call.partial_kwargs.items()
+            if name in params_all
         ]
         for param, arg in bound:
             if isinstance(arg, ast.Name) and arg.id in model.shared_vars:

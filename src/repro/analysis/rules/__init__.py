@@ -14,8 +14,9 @@ from repro.analysis.rules.ppm102_node_phase_global_write import RULE as PPM102
 from repro.analysis.rules.ppm103_plain_write_reduction import RULE as PPM103
 from repro.analysis.rules.ppm104_stale_read_after_write import RULE as PPM104
 from repro.analysis.rules.ppm105_literal_vp_count import RULE as PPM105
+from repro.analysis.rules.ppm405_unanalyzed_callee import RULE as PPM405
 
-ALL_RULES: list[LintRule] = [PPM101, PPM102, PPM103, PPM104, PPM105]
+ALL_RULES: list[LintRule] = [PPM101, PPM102, PPM103, PPM104, PPM105, PPM405]
 
 RULES_BY_ID: dict[str, LintRule] = {rule.rule_id: rule for rule in ALL_RULES}
 

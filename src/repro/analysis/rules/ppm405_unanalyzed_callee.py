@@ -1,0 +1,49 @@
+"""PPM405 — ``ppm.do`` callee the analyzers cannot see (warn-only).
+
+The lint and dataflow passes resolve each ``do(K, func, ...)`` site
+to a module-level kernel — following local aliases (``k = _kernel``)
+and ``functools.partial`` wrappers — and then analyze that kernel's
+phase structure and shared accesses.  A callee they cannot resolve
+(a lambda, a dynamically computed expression, a rebound name, or a
+function imported from elsewhere) is a kernel that silently escapes
+every static check: no PPM1xx findings, no PPM4xx conflict proofs,
+no overlap certificate.  PPM405 makes that gap visible instead of
+letting it pass as "clean".
+
+Reference (triggering example and fix): docs/DIAGNOSTICS.md#ppm405
+"""
+
+from __future__ import annotations
+
+from repro.analysis.rules.base import LintRule
+
+
+class UnanalyzedCalleeRule(LintRule):
+    rule_id = "PPM405"
+    severity = "warning"
+    summary = "ppm.do callee cannot be analyzed statically"
+
+    def check(self, model):
+        for call in model.do_calls:
+            if call.func_name is None:
+                yield self.diag(
+                    model,
+                    call.lineno,
+                    f"do() callee cannot be resolved statically "
+                    f"({call.unresolved_reason}); this kernel escapes "
+                    "all static analysis — define it as a named "
+                    "module-level function (functools.partial over one "
+                    "is fine)",
+                )
+            elif call.func_name not in model.module_func_names:
+                yield self.diag(
+                    model,
+                    call.lineno,
+                    f"do() callee {call.func_name!r} is not defined in "
+                    "this module (imported or missing); its phase "
+                    "structure and shared accesses are not analyzed "
+                    "here",
+                )
+
+
+RULE = UnanalyzedCalleeRule()

@@ -1,0 +1,162 @@
+"""SARIF 2.1.0 export and baseline suppression for the analysis CLI.
+
+``python -m repro.analysis verify --sarif out.sarif`` emits a static
+analysis log consumable by code-review UIs (GitHub code scanning et
+al.).  The baseline file is a much smaller, hand-mergeable JSON
+document listing accepted findings by ``(rule, path, line)``
+fingerprint: ``--baseline FILE`` suppresses matches (they surface as
+``suppressions`` entries in SARIF rather than vanishing), and
+``--write-baseline FILE`` records the current findings wholesale.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.diagnostics import ALL_CODES, Diagnostic
+
+__all__ = [
+    "to_sarif",
+    "write_sarif",
+    "fingerprint",
+    "load_baseline",
+    "write_baseline",
+    "apply_baseline",
+]
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+_DOCS_URL = "docs/DIAGNOSTICS.md"
+
+_LEVELS = {"error": "error", "warning": "warning", "note": "note"}
+
+
+def fingerprint(diag: Diagnostic) -> str:
+    """Stable identity of one finding for baseline matching."""
+    return f"{diag.rule}:{diag.path or '<source>'}:{diag.line or 0}"
+
+
+def _rule_descriptor(rule: str) -> dict:
+    return {
+        "id": rule,
+        "name": rule,
+        "shortDescription": {
+            "text": ALL_CODES.get(rule, "PPM analysis rule")
+        },
+        "helpUri": f"{_DOCS_URL}#{rule.lower()}",
+    }
+
+
+def _result(diag: Diagnostic, suppressed: bool) -> dict:
+    out = {
+        "ruleId": diag.rule,
+        "level": _LEVELS.get(diag.severity, "note"),
+        "message": {"text": diag.message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {"uri": diag.path or "<source>"},
+                    "region": {"startLine": max(int(diag.line or 1), 1)},
+                }
+            }
+        ],
+        "partialFingerprints": {"ppmFingerprint/v1": fingerprint(diag)},
+    }
+    props = {}
+    if diag.phase_index is not None:
+        props["phaseIndex"] = diag.phase_index
+    if diag.phase_kind is not None:
+        props["phaseKind"] = diag.phase_kind
+    if diag.variable is not None:
+        props["variable"] = diag.variable
+    if props:
+        out["properties"] = props
+    if suppressed:
+        out["suppressions"] = [
+            {"kind": "external", "justification": "baseline file"}
+        ]
+    return out
+
+
+def to_sarif(
+    diagnostics: list[Diagnostic], *, suppressed: set[str] | None = None
+) -> dict:
+    """SARIF 2.1.0 document for a verify run.
+
+    ``suppressed`` is a set of :func:`fingerprint` strings (from the
+    baseline); matching results carry a ``suppressions`` entry.
+    """
+    suppressed = suppressed or set()
+    rules = sorted({d.rule for d in diagnostics})
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro.analysis",
+                        "informationUri": _DOCS_URL,
+                        "rules": [_rule_descriptor(r) for r in rules],
+                    }
+                },
+                "results": [
+                    _result(d, fingerprint(d) in suppressed)
+                    for d in diagnostics
+                ],
+            }
+        ],
+    }
+
+
+def write_sarif(
+    diagnostics: list[Diagnostic],
+    path: str,
+    *,
+    suppressed: set[str] | None = None,
+) -> None:
+    doc = to_sarif(diagnostics, suppressed=suppressed)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+# ----------------------------------------------------------------------
+# Baseline files
+# ----------------------------------------------------------------------
+def load_baseline(path: str) -> set[str]:
+    """Fingerprint set from a baseline file (empty set if missing)."""
+    try:
+        with open(path, encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except FileNotFoundError:
+        return set()
+    entries = doc.get("suppressions", []) if isinstance(doc, dict) else doc
+    return {str(e) for e in entries}
+
+
+def write_baseline(diagnostics: list[Diagnostic], path: str) -> None:
+    doc = {
+        "comment": (
+            "Accepted repro.analysis findings; regenerate with "
+            "python -m repro.analysis verify --write-baseline"
+        ),
+        "suppressions": sorted({fingerprint(d) for d in diagnostics}),
+    }
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2)
+        fh.write("\n")
+
+
+def apply_baseline(
+    diagnostics: list[Diagnostic], baseline: set[str]
+) -> tuple[list[Diagnostic], list[Diagnostic]]:
+    """Split findings into (active, suppressed) against a baseline."""
+    active: list[Diagnostic] = []
+    quiet: list[Diagnostic] = []
+    for d in diagnostics:
+        (quiet if fingerprint(d) in baseline else active).append(d)
+    return active, quiet

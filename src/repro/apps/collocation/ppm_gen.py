@@ -52,6 +52,10 @@ def _gen_kernel(ctx, problem, CACHE, VALS):
         r, _c, cache_idx, coeffs, slot_j = problem.row_entries(my_rows, level)
         if r.size == 0:
             continue
+        # row_entries draws r from my_rows, so this is an identity; it
+        # re-expresses the rows through the contiguous arange so the
+        # static verifier can prove the write stays in this VP's chunk.
+        r = my_rows[r - my_rows[0]]
         uniq, inv = np.unique(cache_idx, return_inverse=True)
         cached = CACHE[uniq]
         vals = (coeffs * cached[inv].reshape(cache_idx.shape)).sum(axis=1)

@@ -15,6 +15,7 @@ from __future__ import annotations
 import sys
 from typing import Callable
 
+from repro.bench.analyzer import analyzer_cost
 from repro.bench.codesize import table1_codesize
 from repro.bench.figures import (
     ablation_bundling,
@@ -50,6 +51,7 @@ EXPERIMENTS: dict[str, Callable] = {
     "obs_cg": obs_cg_traffic,
     "wallclock": wallclock,
     "resilience": bench_resilience,
+    "analyzer": analyzer_cost,
 }
 
 

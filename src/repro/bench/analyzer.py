@@ -1,0 +1,87 @@
+"""Wall-clock cost of the static phase-dataflow verifier.
+
+``sanitize="auto"`` and the CI verify gate make static analysis part
+of the development loop, so its cost is tracked like runtime cost:
+this sweep times ``repro.analysis.dataflow.verify_file`` on each of
+the six shipped apps (best of ``repeats`` runs, parse included) and
+records the verdict alongside — the table doubles as a regression
+check that every app still certifies conflict-free.
+
+Columns: app name, analyzer host-milliseconds, number of phases
+summarised, dependence edges found, findings emitted, and whether the
+kernel holds a full conflict-freedom certificate.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.bench.harness import SweepResult
+from repro.bench.report import render_chart, save_result
+
+#: The six shipped PPM apps, as paths relative to the repo root.
+APP_MODULES = (
+    ("cg", "src/repro/apps/cg/ppm_cg.py"),
+    ("matgen", "src/repro/apps/collocation/ppm_gen.py"),
+    ("barneshut", "src/repro/apps/barneshut/ppm_bh.py"),
+    ("multigrid", "src/repro/apps/multigrid/ppm_mg.py"),
+    ("bfs", "src/repro/apps/graph/ppm_bfs.py"),
+    ("sptrsv", "src/repro/apps/sptrsv/ppm_trsv.py"),
+)
+
+
+def _repo_root() -> str:
+    return os.path.normpath(
+        os.path.join(os.path.dirname(__file__), "..", "..", "..")
+    )
+
+
+def analyzer_cost(*, repeats: int = 3, quiet: bool = False) -> SweepResult:
+    """Time the verifier on all six apps; returns the sweep table."""
+    from repro.analysis.dataflow import verify_file
+
+    root = _repo_root()
+    result = SweepResult(
+        name="analyzer_cost",
+        columns=[
+            "app",
+            "analyze_ms",
+            "phases",
+            "dep_edges",
+            "findings",
+            "certified",
+        ],
+        notes=(
+            "Static dataflow verifier (repro.analysis.dataflow) host "
+            f"cost per app, best of {repeats}; certified=True means "
+            "every phase carries a conflict-freedom certificate."
+        ),
+    )
+    for app, rel in APP_MODULES:
+        path = os.path.join(root, rel)
+        best = float("inf")
+        diags: list = []
+        summaries: list = []
+        for _ in range(max(repeats, 1)):
+            t0 = time.perf_counter()
+            diags, summaries = verify_file(path)
+            best = min(best, time.perf_counter() - t0)
+        result.rows.append(
+            {
+                "app": app,
+                "analyze_ms": best * 1e3,
+                "phases": sum(len(s.phases) for s in summaries),
+                "dep_edges": sum(len(s.edges) for s in summaries),
+                "findings": len(diags),
+                "certified": all(s.certified for s in summaries)
+                and bool(summaries),
+            }
+        )
+    text = save_result(result)
+    if not quiet:
+        print(text)
+        chart = render_chart(result)
+        if chart:
+            print(chart)
+    return result

@@ -352,8 +352,15 @@ def write_wallclock_json(
 # ----------------------------------------------------------------------
 
 def guard_band_check(*, band: float = GUARD_BAND) -> dict:
-    """Measure untraced vs traced vs sanitized host seconds on a small
-    CG workload; returns the factors (callers decide pass/fail)."""
+    """Measure untraced vs traced vs sanitized vs certified-auto host
+    seconds on a small CG workload; returns the factors (callers
+    decide pass/fail).
+
+    The ``auto`` variant runs ``sanitize="auto"``: the static verifier
+    certifies every CG phase conflict-free, so the dynamic per-phase
+    check is skipped and the run must stay within the *untraced* guard
+    band — that is the end-to-end payoff the certificate promises.
+    """
     import repro.apps.cg.ppm_cg as _ppm_cg_module
     from repro.apps.cg import build_chimney_problem, ppm_cg_solve
 
@@ -362,6 +369,7 @@ def guard_band_check(*, band: float = GUARD_BAND) -> dict:
         "untraced": {},
         "traced": {"trace": True},
         "sanitized": {"sanitize": "warn"},
+        "auto": {"sanitize": "auto"},
     }
 
     def run(kwargs) -> None:
@@ -392,11 +400,14 @@ def guard_band_check(*, band: float = GUARD_BAND) -> dict:
         "untraced_s": best["untraced"],
         "traced_s": best["traced"],
         "sanitized_s": best["sanitized"],
+        "auto_s": best["auto"],
         "traced_factor": best["traced"] / best["untraced"],
         "sanitized_factor": best["sanitized"] / best["untraced"],
+        "auto_factor": best["auto"] / best["untraced"],
         "band": band,
         "ok": best["traced"] / best["untraced"] <= band
-        and best["sanitized"] / best["untraced"] <= band,
+        and best["sanitized"] / best["untraced"] <= band
+        and best["auto"] / best["untraced"] <= band,
     }
 
 
@@ -433,7 +444,8 @@ def main(argv: list[str] | None = None) -> int:
             fh.write("\n")
         print(
             f"guard band: traced {guard['traced_factor']:.2f}x, "
-            f"sanitized {guard['sanitized_factor']:.2f}x "
+            f"sanitized {guard['sanitized_factor']:.2f}x, "
+            f"certified-auto {guard['auto_factor']:.2f}x "
             f"(allowed {guard['band']:.1f}x) -> {'ok' if guard['ok'] else 'FAIL'}"
         )
         if not guard["ok"]:

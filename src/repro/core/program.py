@@ -238,10 +238,14 @@ def run_ppm(
         times; see :class:`~repro.core.runtime.PpmRuntime`).
     sanitize:
         ``None`` (default, off), ``"warn"``/``True`` (record
-        phase-conflict diagnostics on ``ppm.diagnostics``) or
+        phase-conflict diagnostics on ``ppm.diagnostics``),
         ``"strict"`` (raise
         :class:`~repro.core.errors.PhaseConflictError` before the
-        offending phase commits).
+        offending phase commits) or ``"auto"`` — strict, but phases
+        carrying a static conflict-freedom certificate from the
+        :mod:`repro.analysis.dataflow` verifier skip the dynamic
+        per-phase check entirely (committed arrays stay bitwise
+        identical to ``"strict"``; see docs/ANALYSIS.md).
     trace:
         ``None`` (default, off), ``True``/``"on"`` (attach a fresh
         :class:`~repro.obs.events.PhaseTrace`) or an existing

@@ -150,12 +150,19 @@ class PpmRuntime:
         #: :class:`~repro.core.shared.WriteEvent` and each commit is
         #: checked for cross-VP conflicts before writes apply.
         self.sanitizer = None
+        #: ``sanitize="auto"``: run in strict mode, but skip the
+        #: dynamic check for phases holding a static conflict-freedom
+        #: certificate (:mod:`repro.analysis.certify`).  Uncertified
+        #: phases still get the full strict check.
+        self.sanitize_auto = sanitize == "auto"
         if sanitize not in (None, False):
             if sanitize is True:
                 sanitize = "warn"
             from repro.analysis.sanitizer import PhaseSanitizer
 
-            self.sanitizer = PhaseSanitizer(mode=sanitize)
+            self.sanitizer = PhaseSanitizer(
+                mode="strict" if sanitize == "auto" else sanitize
+            )
         #: Resilience orchestrator
         #: (:class:`repro.resilience.manager.ResilienceManager`), or
         #: None.  Like the tracer, every hook site is gated on a single
@@ -167,6 +174,11 @@ class PpmRuntime:
         self.shared_registry: dict[str, object] = {}
         self.stats_global_phases = 0
         self.stats_node_phases = 0
+        #: Phase rounds that ran under a static overlap certificate
+        #: (dynamic conflict check skipped, comm certified-overlappable).
+        self.stats_certified_phases = 0
+        #: Certificate of the kernel currently inside ``do``, or None.
+        self._active_cert = None
         self._tls = threading.local()
         # Seed the constructing thread so hot paths can read
         # ``_tls.cursor`` directly (no getattr default needed).
@@ -368,6 +380,19 @@ class PpmRuntime:
         counts = self._normalize_counts(vp_counts, n_nodes)
         funcs = self._normalize_funcs(func, n_nodes)
         default_decl = PhaseDecl(phase, latency_rounds=latency_rounds)
+
+        # Static overlap certificate for this kernel (repro.analysis):
+        # consulted per phase round to skip the dynamic conflict check
+        # and to mark the phase's comm certified-overlappable.  Only a
+        # single-kernel do can be certified — per-node functions would
+        # need one frame check per distinct kernel.
+        self._active_cert = None
+        if self.sanitize_auto or self.config.certified_overlap_fraction is not None:
+            distinct = {id(f) for f in funcs if f is not None}
+            if len(distinct) == 1 and funcs[0] is not None:
+                from repro.analysis.certify import certificate_for
+
+                self._active_cert = certificate_for(funcs[0], args, kwargs)
 
         vps_by_node: list[list[_VpRecord]] = []
         global_total = sum(counts)
@@ -658,6 +683,13 @@ class PpmRuntime:
             "global", latency_rounds, tracer=tr, phase_index=phase_index
         )
         body_vps = [vp for n in active_nodes for vp in vps_by_node[n]]
+        # A round is certified when every active VP sits at a yield the
+        # static verifier proved conflict-free (checked on the suspended
+        # frames *before* the bodies run, i.e. at this phase's decl).
+        certified = (
+            self._active_cert is not None
+            and self._active_cert.round_certified(body_vps, "global")
+        )
         if tr is not None:
             tr.phase = phase_index
             tr.emit(
@@ -674,8 +706,10 @@ class PpmRuntime:
 
         # Commit: conflict check (strict mode aborts before any write
         # is visible), then writes in rank order, then collectives.
-        if self.sanitizer is not None:
+        if self.sanitizer is not None and not (certified and self.sanitize_auto):
             self.sanitizer.check_phase(recorder, phase_index=phase_index)
+        if certified:
+            self.stats_certified_phases += 1
         recorder.apply_writes(engine=self.commit_engine)
         n_contrib = recorder.resolve_collectives()
 
@@ -759,6 +793,7 @@ class PpmRuntime:
                 commit_cpu=commit_cpu,
                 comm_cost=comm_costs.get(node_id, ZERO_COST),
                 extra_comm_cpu=in_cpu.get(node_id, 0.0),
+                certified=certified,
             )
             if penalties is not None:
                 extra = penalties.get(node_id, 0.0)
@@ -852,6 +887,10 @@ class PpmRuntime:
             "node", latency_rounds, tracer=tr, phase_index=phase_index
         )
         t0 = self.cluster.node(node_id).clock.now
+        certified = (
+            self._active_cert is not None
+            and self._active_cert.round_certified(node_vps, "node")
+        )
         if tr is not None:
             tr.phase = phase_index
             tr.emit(
@@ -866,8 +905,10 @@ class PpmRuntime:
             )
         self._execute_phase_bodies(recorder, node_vps)
 
-        if self.sanitizer is not None:
+        if self.sanitizer is not None and not (certified and self.sanitize_auto):
             self.sanitizer.check_phase(recorder, phase_index=phase_index)
+        if certified:
+            self.stats_certified_phases += 1
         recorder.apply_writes(engine=self.commit_engine)
         n_contrib = recorder.resolve_collectives()
 
@@ -921,7 +962,12 @@ class PpmRuntime:
         if nt is not None:
             commit_cpu += nt.local_write_elems * cfg.ppm_commit_per_element
         timing = compose_phase_timing(
-            cfg, net, compute=compute, commit_cpu=commit_cpu, comm_cost=comm_cost
+            cfg,
+            net,
+            compute=compute,
+            commit_cpu=commit_cpu,
+            comm_cost=comm_cost,
+            certified=certified,
         )
         if res is not None:
             penalties = res.message_penalties(phase_index, traffic, net)

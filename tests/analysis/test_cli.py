@@ -129,3 +129,130 @@ class TestCli:
         """The CI lint gate: the shipped examples and apps are clean."""
         proc = run_cli("examples", os.path.join("src", "repro", "apps"))
         assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
+CONFLICTING = textwrap.dedent(
+    """\
+    from repro.core import ppm_function
+
+    @ppm_function
+    def kernel(ctx, X):
+        yield ctx.global_phase
+        X[0] = float(ctx.global_rank)
+
+    def main(ppm):
+        X = ppm.global_shared("x", 10)
+        ppm.do(ppm.cores_per_node, kernel, X)
+    """
+)
+
+CERTIFIABLE = textwrap.dedent(
+    """\
+    from repro.core import ppm_function
+
+    @ppm_function
+    def kernel(ctx, X):
+        yield ctx.global_phase
+        X[ctx.global_rank] = 1.0
+
+    def main(ppm):
+        X = ppm.global_shared("x", 10)
+        ppm.do(ppm.cores_per_node, kernel, X)
+    """
+)
+
+
+class TestExplain:
+    def test_known_code_prints_docs_section(self):
+        proc = run_cli("--explain", "PPM401")
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert proc.stdout.startswith("### PPM401")
+        assert "write" in proc.stdout.lower()
+
+    def test_lowercase_code_accepted(self):
+        proc = run_cli("--explain", "ppm201")
+        assert proc.returncode == 0
+        assert proc.stdout.startswith("### PPM201")
+
+    def test_unknown_code_is_usage_error(self):
+        proc = run_cli("--explain", "PPM999")
+        assert proc.returncode == 2
+        assert "PPM999" in proc.stderr
+
+    def test_every_registered_code_has_a_docs_anchor(self):
+        """Satellite guarantee: ``--explain`` never falls back to the
+        one-liner for a shipped rule — every code in the registry has
+        a ``### PPMxxx`` section in docs/DIAGNOSTICS.md."""
+        from repro.analysis.diagnostics import ALL_CODES
+
+        doc = open(
+            os.path.join(REPO_ROOT, "docs", "DIAGNOSTICS.md"),
+            encoding="utf-8",
+        ).read()
+        missing = [c for c in ALL_CODES if f"### {c}" not in doc]
+        assert missing == []
+
+
+class TestVerifyCli:
+    def test_conflicting_file_flagged_without_execution(self, tmp_path):
+        path = tmp_path / "bad.py"
+        path.write_text(CONFLICTING)
+        proc = run_cli("verify", str(path))
+        assert proc.returncode == 1
+        assert "PPM401" in proc.stdout
+        assert "0/1 phases certified" in proc.stdout
+
+    def test_certifiable_file_reports_certificate(self, tmp_path):
+        path = tmp_path / "good.py"
+        path.write_text(CERTIFIABLE)
+        proc = run_cli("verify", str(path))
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "kernel: certified conflict-free" in proc.stdout
+        assert "clean: no findings" in proc.stdout
+
+    def test_json_output_includes_kernels_and_edges(self, tmp_path):
+        path = tmp_path / "good.py"
+        path.write_text(CERTIFIABLE)
+        proc = run_cli("verify", "--json", str(path))
+        doc = json.loads(proc.stdout)
+        assert doc["findings"] == []
+        [kernel] = doc["kernels"]
+        assert kernel["certified"] is True
+        assert kernel["phases"][0]["kind"] == "global"
+        assert "dependence_edges" in kernel
+
+    def test_sarif_written_even_on_findings(self, tmp_path):
+        path = tmp_path / "bad.py"
+        path.write_text(CONFLICTING)
+        sarif = tmp_path / "out.sarif"
+        proc = run_cli("verify", "--sarif", str(sarif), str(path))
+        assert proc.returncode == 1
+        doc = json.loads(sarif.read_text())
+        assert doc["version"] == "2.1.0"
+        assert any(
+            r["ruleId"] == "PPM401" for r in doc["runs"][0]["results"]
+        )
+
+    def test_baseline_suppression_round_trip(self, tmp_path):
+        path = tmp_path / "bad.py"
+        path.write_text(CONFLICTING)
+        baseline = tmp_path / "baseline.json"
+        wrote = run_cli(
+            "verify", "--write-baseline", str(baseline), str(path)
+        )
+        assert wrote.returncode == 1  # still failing on first run
+        proc = run_cli("verify", "--baseline", str(baseline), str(path))
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "suppressed by baseline" in proc.stdout
+
+    def test_verify_no_paths_is_usage_error(self):
+        proc = run_cli("verify")
+        assert proc.returncode == 2
+
+    def test_repo_verify_gate_passes(self):
+        """The CI verify gate: all six shipped apps certify clean."""
+        proc = run_cli(
+            "verify", "--strict", os.path.join("src", "repro", "apps")
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert proc.stdout.count("certified conflict-free") >= 6

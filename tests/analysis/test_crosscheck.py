@@ -1,0 +1,170 @@
+"""Hypothesis cross-check: static verdicts vs dynamic reality.
+
+Two contracts, each checked over randomly generated phase programs:
+
+1. **Soundness** — whenever the dataflow verifier certifies every
+   kernel of a generated program conflict-free, actually *running* the
+   program under the dynamic sanitizer must produce zero error
+   findings.  (The converse is not required: the static layer may be
+   conservative and refuse programs the sanitizer would pass.)
+2. **Transparency** — for certified kernels, ``sanitize="auto"``
+   (which skips the per-phase dynamic check) commits arrays
+   bitwise-identical to ``sanitize="strict"`` at identical simulated
+   times, across randomized shapes, VP counts and values.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.dataflow import verify_source
+from repro.apps.common import split_range
+from repro.config import testing as mkconfig
+from repro.core import ppm_function, run_ppm
+from repro.machine import Cluster
+
+N = 16  # shared-array length of every generated program
+
+
+# ----------------------------------------------------------------------
+# Program generator: each phase is a small list of statements drawn
+# from a pool that mixes provably-safe, provably-conflicting and
+# unanalyzable shapes.
+# ----------------------------------------------------------------------
+STATEMENTS = [
+    # (template, needs_chunk)
+    ("X[lo:hi] = float(ctx.global_rank) + {v}", True),
+    ("X[ctx.global_rank] = {v}", False),
+    ("X[{k}] = {v}", False),                    # conflicting (or benign)
+    ("X[{k}] = float(ctx.global_rank)", False),  # conflicting
+    ("if ctx.global_rank == {k}:\n    X[{k}] = {v}", False),
+    ("X.accumulate([{k}], [{v}], op=\"add\")", False),
+    ("X.accumulate([{k}], [{v}], op=\"maximum\")", False),
+    ("s = float(X[0:{n}].sum())", False),
+]
+
+
+@st.composite
+def phase_programs(draw):
+    n_phases = draw(st.integers(1, 3))
+    phases = []
+    uses_chunk = False
+    for _ in range(n_phases):
+        n_stmts = draw(st.integers(1, 2))
+        stmts = []
+        for _ in range(n_stmts):
+            template, needs_chunk = draw(st.sampled_from(STATEMENTS))
+            uses_chunk = uses_chunk or needs_chunk
+            stmts.append(
+                template.format(
+                    k=draw(st.integers(0, 3)),
+                    v=float(draw(st.integers(0, 4))),
+                    n=N,
+                )
+            )
+        phases.append(stmts)
+    body = []
+    if uses_chunk:
+        body.append(
+            "lo, hi = split_range("
+            f"{N}, ctx.global_vp_count)[ctx.global_rank]"
+        )
+    for stmts in phases:
+        body.append("yield ctx.global_phase")
+        body.extend(stmts)
+    lines = [
+        "from repro.core import ppm_function",
+        "from repro.apps.common import split_range",
+        "",
+        "@ppm_function",
+        "def kernel(ctx, X):",
+    ]
+    lines += [
+        "    " + line for chunk in body for line in chunk.split("\n")
+    ]
+    lines += [
+        "",
+        "def main(ppm):",
+        f'    X = ppm.global_shared("x", {N})',
+        "    ppm.do(2, kernel, X)",
+        "    return X.committed",
+    ]
+    return "\n".join(lines) + "\n"
+
+
+def run_generated(source: str, *, sanitize):
+    namespace: dict = {}
+    exec(compile(source, "<generated>", "exec"), namespace)
+    return run_ppm(
+        namespace["main"],
+        Cluster(mkconfig(n_nodes=2, cores_per_node=2)),
+        sanitize=sanitize,
+    )
+
+
+class TestStaticNeverContradictedByDynamic:
+    @settings(max_examples=60, deadline=None)
+    @given(source=phase_programs())
+    def test_certified_programs_run_clean(self, source):
+        diags, summaries = verify_source(source, "generated.py")
+        flow_errors = [
+            d for d in diags
+            if d.tool == "dataflow" and d.severity == "error"
+        ]
+        certified = (
+            bool(summaries)
+            and all(s.analyzable and s.certified for s in summaries)
+        )
+        if not certified:
+            return  # conservative rejection is always allowed
+        assert flow_errors == [], [d.format() for d in flow_errors]
+        ppm, _ = run_generated(source, sanitize="warn")
+        dynamic_errors = [
+            d for d in ppm.diagnostics if d.severity == "error"
+        ]
+        assert dynamic_errors == [], (
+            source,
+            [d.format() for d in dynamic_errors],
+        )
+
+
+@ppm_function
+def chunked_kernel(ctx, X, scale):
+    lo, hi = split_range(X.shape[0], ctx.global_vp_count)[ctx.global_rank]
+    yield ctx.global_phase
+    X[lo:hi] = float(ctx.global_rank) * scale
+    yield ctx.global_phase
+    shifted = X[lo:hi] + scale
+    X[lo:hi] = shifted
+
+
+class TestAutoIsBitwiseTransparent:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        n=st.integers(4, 64),
+        vps=st.integers(1, 3),
+        scale=st.floats(-1e3, 1e3, allow_nan=False),
+    )
+    def test_auto_matches_strict(self, n, vps, scale):
+        def main(ppm):
+            X = ppm.global_shared("x", n)
+            ppm.do(vps, chunked_kernel, X, scale)
+            return X.committed
+
+        def run(mode):
+            return run_ppm(
+                main,
+                Cluster(mkconfig(n_nodes=2, cores_per_node=2)),
+                sanitize=mode,
+            )
+
+        ppm_a, out_a = run("auto")
+        ppm_s, out_s = run("strict")
+        assert np.array_equal(out_a, out_s)
+        assert ppm_a.elapsed == ppm_s.elapsed
+        # The skip actually happened: every phase round certified.
+        assert ppm_a.runtime.stats_certified_phases == 2
+        assert ppm_a.runtime.sanitizer.phases_checked == 0
+        assert ppm_s.runtime.sanitizer.phases_checked > 0

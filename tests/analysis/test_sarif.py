@@ -1,0 +1,91 @@
+"""Tests for SARIF 2.1.0 export and baseline suppression."""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.sarif import (
+    SARIF_VERSION,
+    apply_baseline,
+    fingerprint,
+    load_baseline,
+    to_sarif,
+    write_baseline,
+    write_sarif,
+)
+
+
+def diag(rule="PPM401", severity="error", path="app.py", line=12):
+    return Diagnostic(
+        tool="dataflow",
+        rule=rule,
+        severity=severity,
+        message=f"{rule} finding",
+        path=path,
+        line=line,
+        phase_index=0,
+        phase_kind="global",
+        variable="X",
+    )
+
+
+class TestSarifDocument:
+    def test_structure_and_rule_metadata(self):
+        doc = to_sarif([diag(), diag(rule="PPM404", severity="note")])
+        assert doc["version"] == SARIF_VERSION == "2.1.0"
+        assert "sarif-schema-2.1.0" in doc["$schema"]
+        [run] = doc["runs"]
+        rules = {r["id"]: r for r in run["tool"]["driver"]["rules"]}
+        assert set(rules) == {"PPM401", "PPM404"}
+        assert rules["PPM401"]["helpUri"].endswith(
+            "docs/DIAGNOSTICS.md#ppm401"
+        )
+        results = run["results"]
+        assert len(results) == 2
+        assert results[0]["ruleId"] == "PPM401"
+        assert results[0]["level"] == "error"
+        loc = results[0]["locations"][0]["physicalLocation"]
+        assert loc["artifactLocation"]["uri"] == "app.py"
+        assert loc["region"]["startLine"] == 12
+        assert (
+            results[0]["partialFingerprints"]["ppmFingerprint/v1"]
+            == fingerprint(diag())
+        )
+
+    def test_write_sarif_round_trips_as_json(self, tmp_path):
+        out = tmp_path / "out.sarif"
+        write_sarif([diag()], str(out))
+        doc = json.loads(out.read_text())
+        assert doc["runs"][0]["results"][0]["ruleId"] == "PPM401"
+
+    def test_suppressed_results_are_marked(self):
+        d = diag()
+        doc = to_sarif([d], suppressed={fingerprint(d)})
+        [res] = doc["runs"][0]["results"]
+        assert res["suppressions"][0]["kind"] == "external"
+
+
+class TestBaseline:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        findings = [diag(), diag(rule="PPM402", severity="warning", line=30)]
+        write_baseline(findings, str(path))
+        assert load_baseline(str(path)) == {
+            fingerprint(d) for d in findings
+        }
+
+    def test_missing_baseline_is_empty(self, tmp_path):
+        assert load_baseline(str(tmp_path / "nope.json")) == set()
+
+    def test_apply_baseline_splits(self):
+        old = diag()
+        new = diag(rule="PPM403", line=40)
+        active, suppressed = apply_baseline(
+            [old, new], {fingerprint(old)}
+        )
+        assert active == [new]
+        assert suppressed == [old]
+
+    def test_fingerprint_is_rule_path_line(self):
+        assert fingerprint(diag()) == "PPM401:app.py:12"

@@ -9,7 +9,8 @@ Two passes, both offline:
    in the target document.  External (``http(s)://``, ``mailto:``)
    links are ignored.
 2. **Examples** — fenced ```python blocks in README.md,
-   docs/OBSERVABILITY.md and docs/RESILIENCE.md are executed
+   docs/OBSERVABILITY.md, docs/RESILIENCE.md and docs/ANALYSIS.md are
+   executed
    *sequentially in one namespace per file* (so later blocks may use names defined by earlier ones),
    exactly as a reader following the document would.  A block preceded
    by an HTML comment containing ``doctest: skip`` is not executed.
@@ -43,13 +44,19 @@ LINK_DOCS = [
     "docs/ARCHITECTURE.md",
     "docs/OBSERVABILITY.md",
     "docs/DIAGNOSTICS.md",
+    "docs/ANALYSIS.md",
     "docs/SEMANTICS.md",
     "docs/COST_MODEL.md",
     "docs/RESILIENCE.md",
 ]
 
 #: Documents whose ```python blocks are executed.
-EXEC_DOCS = ["README.md", "docs/OBSERVABILITY.md", "docs/RESILIENCE.md"]
+EXEC_DOCS = [
+    "README.md",
+    "docs/OBSERVABILITY.md",
+    "docs/RESILIENCE.md",
+    "docs/ANALYSIS.md",
+]
 
 _LINK_RE = re.compile(r"(?<!!)\[[^\]]+\]\(([^)\s]+)\)")
 _FENCE_RE = re.compile(r"^```(\w*)\s*$")
