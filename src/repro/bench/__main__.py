@@ -55,12 +55,41 @@ EXPERIMENTS: dict[str, Callable] = {
 }
 
 
+#: Experiments with their own CLI (``main(argv)``): extra flags on the
+#: ``python -m repro.bench`` command line are forwarded to them instead
+#: of being silently dropped.
+CLI_EXPERIMENTS: dict[str, Callable[[list], int]] = {}
+
+
+def _wallclock_cli(argv: list) -> int:
+    from repro.bench import wallclock as wallclock_module
+
+    return wallclock_module.main(argv)
+
+
+CLI_EXPERIMENTS["wallclock"] = _wallclock_cli
+
+
 def main(argv: list[str]) -> int:
     if "--list" in argv:
         for name in EXPERIMENTS:
             print(name)
         return 0
-    names = [a for a in argv if not a.startswith("-")] or list(EXPERIMENTS)
+    # An experiment with its own CLI consumes everything after its
+    # name (e.g. ``wallclock --small --executor process --check``).
+    if argv and argv[0] in CLI_EXPERIMENTS and len(argv) > 1:
+        return CLI_EXPERIMENTS[argv[0]](argv[1:])
+    flags = [a for a in argv if a.startswith("-")]
+    if flags:
+        flag_aware = ", ".join(CLI_EXPERIMENTS)
+        print(
+            f"flags {' '.join(flags)} are only understood when they "
+            f"follow a flag-aware experiment name ({flag_aware}), e.g. "
+            "`python -m repro.bench wallclock --small`",
+            file=sys.stderr,
+        )
+        return 2
+    names = argv or list(EXPERIMENTS)
     unknown = [n for n in names if n not in EXPERIMENTS]
     if unknown:
         print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)

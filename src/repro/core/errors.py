@@ -30,6 +30,12 @@ class VpProgramError(PpmError):
         self.vp_rank = vp_rank
         self.phase_index = phase_index
 
+    def __reduce__(self):
+        return (
+            _revive_vp_error,
+            (self.args[0], self.node, self.vp_rank, self.phase_index),
+        )
+
 
 class CollectiveUsageError(PpmError):
     """A phase collective handle was read before its phase committed."""
@@ -72,6 +78,48 @@ class NodeCrashFault(ResilienceError):
         )
         self.node = node
         self.phase_index = phase_index
+
+
+class ParallelError(PpmError):
+    """Base class of errors raised by :mod:`repro.parallel` (the
+    multi-process execution backend)."""
+
+
+class ParallelConfigError(ParallelError, ValueError):
+    """The process execution backend was configured in a way it cannot
+    honour — an unpicklable kernel, an invalid worker count, or a
+    feature combination (threads executor, resilience, ``sanitize=
+    "auto"``) the backend does not support.
+
+    ``code`` carries the diagnostic rule id (``PPM501``..``PPM504``,
+    see docs/DIAGNOSTICS.md), mirroring how resilience configuration
+    errors carry ``PPM3xx`` codes."""
+
+    def __init__(self, message: str, *, code: str) -> None:
+        super().__init__(f"{code}: {message}")
+        self.code = code
+
+
+class ParallelExecutionError(ParallelError):
+    """A worker process of the ``"process"`` executor failed in a way
+    that cannot be mapped back onto a PPM application error — it died
+    unexpectedly, or its reply could not be deserialised.  The remote
+    traceback (when one was captured) is part of the message."""
+
+
+def _revive_vp_error(message, node, vp_rank, phase_index):
+    """Rebuild a :class:`VpProgramError` from its shipped fields.
+
+    ``VpProgramError.__init__`` re-formats its message with a location
+    suffix, so the default exception pickling (``cls(*args)``) would
+    double the suffix; workers of the process backend ship the fields
+    instead and this helper reassembles the exception exactly."""
+    err = VpProgramError.__new__(VpProgramError)
+    Exception.__init__(err, message)
+    err.node = node
+    err.vp_rank = vp_rank
+    err.phase_index = phase_index
+    return err
 
 
 class PpmDiagnosticError(PpmError):

@@ -256,6 +256,41 @@ class PhaseRecorder:
             event.seq = seq
             self.write_ops.append(event)
 
+    # ------------------------------------------------------------------
+    # Bulk merge entry points for the process execution backend
+    # (:mod:`repro.parallel`): worker recorders arrive as per-worker
+    # reports in contiguous global-rank shard order, so extending the
+    # rec lists / op stream worker by worker reproduces exactly the
+    # structures the inline engine records VP by VP.
+    def absorb_global_reads(self, entries) -> None:
+        """Merge ``(node_id, shared, [RowSpec, ...], n_elem)`` tuples
+        into the read rec map, preserving arrival order."""
+        recs = self.global_read_recs
+        for node_id, shared, specs, n_elem in entries:
+            rec = recs.get((node_id, shared))
+            if rec is None:
+                rec = recs[(node_id, shared)] = [[], 0]
+            rec[0].extend(specs)
+            rec[1] += n_elem
+
+    def absorb_global_writes(self, entries) -> None:
+        """Write-side analogue of :meth:`absorb_global_reads` (rec map
+        only; the buffered operations arrive via :meth:`absorb_ops`)."""
+        recs = self.global_write_recs
+        for node_id, shared, specs, n_elem in entries:
+            rec = recs.get((node_id, shared))
+            if rec is None:
+                rec = recs[(node_id, shared)] = [[], 0]
+            rec[0].extend(specs)
+            rec[1] += n_elem
+
+    def absorb_ops(self, events) -> None:
+        """Append reconstructed :class:`WriteEvent`\\ s in program
+        order, assigning commit sequence numbers as recording would."""
+        for ev in events:
+            ev.seq = self._seq = self._seq + 1
+            self.write_ops.append(ev)
+
     def add_vp_cost(
         self, node_id: int, core_id: int, cost: float, *, vp: int = -1
     ) -> None:

@@ -66,6 +66,8 @@ class PpmProgram:
         trace: "PhaseTrace | bool | None" = None,
         hot_path: str = "fast",
         resilience=None,
+        executor: str = "inline",
+        workers: int | None = None,
     ) -> None:
         if trace in (None, False):
             tracer = None
@@ -84,6 +86,8 @@ class PpmProgram:
             trace=tracer,
             hot_path=hot_path,
             resilience=resilience,
+            executor=executor,
+            workers=workers,
         )
         self.cluster = cluster
 
@@ -222,6 +226,8 @@ def run_ppm(
     faults=None,
     checkpoint_every: int | None = None,
     resilience=None,
+    executor: str = "inline",
+    workers: int | None = None,
     **kwargs: object,
 ):
     """Run a PPM application.
@@ -279,6 +285,22 @@ def run_ppm(
         knobs (defaults apply when ``faults``/``checkpoint_every`` are
         given without it).
 
+    executor:
+        ``"inline"`` (default) — phase bodies run in this process,
+        bitwise-identical to every release before the process backend
+        existed; or ``"process"`` — phase bodies run on real cores in
+        a pool of worker processes mapping the shared arrays through
+        :mod:`multiprocessing.shared_memory` (committed arrays and
+        simulated times stay bitwise-identical; see docs/PARALLEL.md).
+        Requires a picklable kernel and arguments
+        (:class:`~repro.core.errors.ParallelConfigError` ``PPM501``)
+        and cannot combine with ``vp_executor="threads"``,
+        ``sanitize="auto"`` or the resilience subsystem (``PPM503``).
+    workers:
+        Worker process count for ``executor="process"`` (default:
+        :func:`repro.parallel.default_workers`, the CPU count clamped
+        to [2, 8]).  Ignored under the inline executor.
+
     With ``faults``, ``checkpoint_every`` and ``resilience`` all
     ``None`` (the default), this takes exactly the pre-resilience
     fast path — no per-phase hooks, no overhead.
@@ -296,6 +318,8 @@ def run_ppm(
             sanitize=sanitize,
             trace=trace,
             hot_path=hot_path,
+            executor=executor,
+            workers=workers,
         )
         try:
             result = main(ppm, *args, **kwargs)
@@ -331,6 +355,8 @@ def run_ppm(
             trace=trace,
             hot_path=hot_path,
             resilience=manager,
+            executor=executor,
+            workers=workers,
         )
         manager.begin_incarnation(ppm.runtime)
         try:

@@ -30,11 +30,17 @@ from repro.config import MachineConfig
 from repro.core.bundling import aggregate_traffic
 from repro.core.collectives import CollectiveHandle
 from repro.core.constructs import PhaseDecl
-from repro.core.errors import PhaseUsageError, SharedAccessError, VpProgramError
+from repro.core.errors import (
+    ParallelConfigError,
+    PhaseUsageError,
+    SharedAccessError,
+    VpProgramError,
+)
 from repro.core.phase import PhaseRecorder
 from repro.core.scheduler import (
     PhaseTiming,
     compose_phase_timing,
+    lpt_core_map,
     node_comm_cost,
     node_compute_time,
     peer_owner_messages,
@@ -116,6 +122,8 @@ class PpmRuntime:
         trace=None,
         hot_path: str = "fast",
         resilience=None,
+        executor: str = "inline",
+        workers: int | None = None,
     ) -> None:
         if vp_executor not in ("sequential", "threads"):
             raise ValueError(
@@ -125,6 +133,67 @@ class PpmRuntime:
             raise ValueError(
                 f"hot_path must be 'fast' or 'legacy', got {hot_path!r}"
             )
+        if executor not in ("inline", "process"):
+            raise ParallelConfigError(
+                f"executor must be 'inline' or 'process', got {executor!r}",
+                code="PPM502",
+            )
+        if workers is not None:
+            if not isinstance(workers, (int, np.integer)) or workers < 1:
+                raise ParallelConfigError(
+                    f"workers must be a positive integer, got {workers!r}",
+                    code="PPM502",
+                )
+            workers = int(workers)
+        if executor == "process":
+            if vp_executor == "threads":
+                raise ParallelConfigError(
+                    "executor='process' already parallelises phase bodies "
+                    "across worker processes; vp_executor='threads' cannot "
+                    "be combined with it",
+                    code="PPM503",
+                )
+            if sanitize == "auto":
+                raise ParallelConfigError(
+                    "executor='process' cannot run sanitize='auto': "
+                    "certificate checks inspect suspended generator frames, "
+                    "which live in the workers — use sanitize='strict' or "
+                    "'warn' instead",
+                    code="PPM503",
+                )
+            if resilience is not None:
+                raise ParallelConfigError(
+                    "executor='process' cannot be combined with the "
+                    "resilience subsystem (faults=, checkpoint_every= or "
+                    "resilience=): recovery replays VP generators that "
+                    "live in the workers",
+                    code="PPM503",
+                )
+            if cluster.config.certified_overlap_fraction is not None:
+                raise ParallelConfigError(
+                    "executor='process' cannot honour "
+                    "certified_overlap_fraction: overlap certificates are "
+                    "checked on suspended generator frames, which live in "
+                    "the workers",
+                    code="PPM503",
+                )
+        #: Execution backend selector: ``"inline"`` (default — phase
+        #: bodies run in this process, bitwise-identical to every
+        #: release before the backend existed) or ``"process"`` — phase
+        #: bodies run on real cores via :mod:`repro.parallel`.
+        self.executor = executor
+        self.workers = workers
+        #: Shared-memory segment registry
+        #: (:class:`repro.parallel.shm.ShmRegistry`) backing every
+        #: shared variable's committed store under the process
+        #: executor; None under the inline executor (private numpy
+        #: buffers, the unchanged default).
+        self.shm = None
+        self._backend = None
+        if executor == "process":
+            from repro.parallel.shm import ShmRegistry
+
+            self.shm = ShmRegistry()
         self.cluster = cluster
         self.vp_executor = vp_executor
         #: Hot-path selector.  ``"fast"`` (default) enables zero-copy
@@ -231,12 +300,20 @@ class PpmRuntime:
     # Lifecycle
     # ==================================================================
     def close(self) -> None:
-        """Release runtime resources — today, the lazily created VP
-        thread pool of the ``"threads"`` executor.  Idempotent; a later
-        ``do`` transparently recreates the pool."""
+        """Release runtime resources: the lazily created VP thread pool
+        of the ``"threads"`` executor, and — under the process executor
+        — the worker process pool plus every shared-memory segment.
+        Idempotent, and reached on *every* ``run_ppm`` exit path
+        (success, application crash, ``KeyboardInterrupt``), so no
+        worker process or ``/dev/shm`` segment outlives the program."""
         pool, self._pool = self._pool, None
         if pool is not None:
             pool.shutdown(wait=True)
+        backend, self._backend = self._backend, None
+        if backend is not None:
+            backend.close()
+        if self.shm is not None:
+            self.shm.close()
 
     def __enter__(self) -> "PpmRuntime":
         return self
@@ -394,6 +471,14 @@ class PpmRuntime:
 
                 self._active_cert = certificate_for(funcs[0], args, kwargs)
 
+        # Process backend, created lazily at the first do (workers fork
+        # after driver-level setup, inheriting the shm mappings warm).
+        backend = self._backend
+        if backend is None and self.executor == "process":
+            from repro.parallel.backend import ProcessBackend
+
+            backend = self._backend = ProcessBackend(self)
+
         vps_by_node: list[list[_VpRecord]] = []
         global_total = sum(counts)
         offset = 0
@@ -413,55 +498,72 @@ class PpmRuntime:
                     core_id=core_of(r, k, self.cluster.cores_per_node),
                 )
                 ctx._coll_index = 0
-                node_vps.append(_VpRecord(ctx, genfunc(ctx, *args, **kwargs)))
+                # Under the process backend the generators live in the
+                # workers; the parent keeps generator-less records for
+                # decl/done/cost bookkeeping.
+                gen = None if backend is not None else genfunc(ctx, *args, **kwargs)
+                node_vps.append(_VpRecord(ctx, gen))
             vps_by_node.append(node_vps)
             offset += k
 
         t_start = self.cluster.elapsed
         g0, n0 = self.stats_global_phases, self.stats_node_phases
 
-        # Prologue round: run code before the first phase declaration.
-        for node_vps in vps_by_node:
-            for vp in node_vps:
-                self._advance(vp)
-
-        # Phase rounds.
-        while True:
-            # One pass per node: collect activity and the (required
-            # unanimous) declared phase kind together.
-            active_nodes: list[int] = []
-            node_kind: dict[int, str] = {}
-            for node_id, node_vps in enumerate(vps_by_node):
-                kind = None
-                for vp in node_vps:
-                    if vp.done:
-                        continue
-                    k = vp.decl.kind
-                    if kind is None:
-                        kind = k
-                    elif k != kind:
-                        kinds = {
-                            v.decl.kind for v in node_vps if not v.done
-                        }
-                        raise PhaseUsageError(
-                            f"VPs on node {node_id} declared mixed phase kinds "
-                            f"{sorted(kinds)} for the same round; all VPs of a "
-                            "node must agree"
-                        )
-                if kind is not None:
-                    active_nodes.append(node_id)
-                    node_kind[node_id] = kind
-            if not active_nodes:
-                break
-            node_phase_nodes = [n for n in active_nodes if node_kind[n] == "node"]
-            if node_phase_nodes:
-                # Nodes in node phases proceed asynchronously; nodes
-                # waiting at a global phase stall until everyone reaches
-                # it (paper section 3.3, synchronous/asynchronous modes).
-                for node_id in node_phase_nodes:
-                    self._run_node_phase(node_id, vps_by_node[node_id])
+        if backend is not None:
+            backend.start_do(counts, funcs, args, kwargs, default_decl, vps_by_node)
+        try:
+            # Prologue round: run code before the first phase declaration.
+            if backend is not None:
+                backend.run_prologue(vps_by_node)
             else:
-                self._run_global_phase(vps_by_node, active_nodes)
+                for node_vps in vps_by_node:
+                    for vp in node_vps:
+                        self._advance(vp)
+
+            # Phase rounds.
+            while True:
+                # One pass per node: collect activity and the (required
+                # unanimous) declared phase kind together.
+                active_nodes: list[int] = []
+                node_kind: dict[int, str] = {}
+                for node_id, node_vps in enumerate(vps_by_node):
+                    kind = None
+                    for vp in node_vps:
+                        if vp.done:
+                            continue
+                        k = vp.decl.kind
+                        if kind is None:
+                            kind = k
+                        elif k != kind:
+                            kinds = {
+                                v.decl.kind for v in node_vps if not v.done
+                            }
+                            raise PhaseUsageError(
+                                f"VPs on node {node_id} declared mixed phase kinds "
+                                f"{sorted(kinds)} for the same round; all VPs of a "
+                                "node must agree"
+                            )
+                    if kind is not None:
+                        active_nodes.append(node_id)
+                        node_kind[node_id] = kind
+                if not active_nodes:
+                    break
+                node_phase_nodes = [n for n in active_nodes if node_kind[n] == "node"]
+                if node_phase_nodes:
+                    # Nodes in node phases proceed asynchronously; nodes
+                    # waiting at a global phase stall until everyone reaches
+                    # it (paper section 3.3, synchronous/asynchronous modes).
+                    if backend is not None:
+                        backend.begin_round("node", node_phase_nodes, vps_by_node)
+                    for node_id in node_phase_nodes:
+                        self._run_node_phase(node_id, vps_by_node[node_id])
+                else:
+                    if backend is not None:
+                        backend.begin_round("global", active_nodes, vps_by_node)
+                    self._run_global_phase(vps_by_node, active_nodes)
+        finally:
+            if backend is not None:
+                backend.end_do()
 
         return DoStats(
             vp_count=global_total,
@@ -558,6 +660,11 @@ class PpmRuntime:
     ) -> None:
         """Run the pending phase body of every listed VP, accumulating
         per-core costs into the recorder."""
+        if self._backend is not None:
+            # Bodies already ran in the worker processes (begin_round);
+            # replay their reports into the recorder in VP order.
+            self._backend.fill_recorder(recorder, vps)
+            return
         self._assign_cores(vps)
         self.phase = recorder
         try:
@@ -613,16 +720,13 @@ class PpmRuntime:
             if not vp.done:
                 by_node.setdefault(vp.ctx.node_id, []).append(vp)
         for node_vps in by_node.values():
-            if not any(vp.last_cost for vp in node_vps):
-                continue  # no history yet: keep the static chunks
-            order = sorted(
-                node_vps, key=lambda v: (-v.last_cost, v.ctx.node_rank)
+            assignment = lpt_core_map(
+                [(vp.ctx.node_rank, vp.last_cost) for vp in node_vps], cores
             )
-            loads = [0.0] * cores
-            for vp in order:
-                core = min(range(cores), key=lambda c: (loads[c], c))
-                vp.ctx.core_id = core
-                loads[core] += vp.last_cost
+            if assignment is None:
+                continue  # no history yet: keep the static chunks
+            for vp in node_vps:
+                vp.ctx.core_id = assignment[vp.ctx.node_rank]
 
     def _execute_threaded(self, recorder: PhaseRecorder, vps: list[_VpRecord]) -> None:
         """Run phase bodies as real threads (the paper's VPs-as-
@@ -712,6 +816,10 @@ class PpmRuntime:
             self.stats_certified_phases += 1
         recorder.apply_writes(engine=self.commit_engine)
         n_contrib = recorder.resolve_collectives()
+        if self._backend is not None:
+            # Ship resolved reduce/scan values back with the next round
+            # so worker-held handles resolve before VP code reads them.
+            self._backend.harvest_collectives(recorder, None)
 
         cfg = self.config
         net = self.cluster.network
@@ -911,6 +1019,8 @@ class PpmRuntime:
             self.stats_certified_phases += 1
         recorder.apply_writes(engine=self.commit_engine)
         n_contrib = recorder.resolve_collectives()
+        if self._backend is not None:
+            self._backend.harvest_collectives(recorder, node_id)
 
         cfg = self.config
         net = self.cluster.network

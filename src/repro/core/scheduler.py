@@ -34,6 +34,31 @@ class PhaseTiming:
         return self.compute + self.commit_cpu + self.comm - self.overlapped
 
 
+def lpt_core_map(
+    vp_costs: list[tuple[int, float]], cores: int
+) -> dict[int, int] | None:
+    """Greedy longest-processing-time-first VP→core packing.
+
+    ``vp_costs`` pairs each VP's node rank with its measured cost from
+    the previous phase; the result maps node rank → core id.  Returns
+    ``None`` when no VP has history yet (callers keep the static
+    contiguous chunks).  Deterministic: ties break on VP rank, then
+    core id — both the inline engine and the process backend derive a
+    phase's core map through this one function, so load-balanced runs
+    stay bitwise identical across executors.
+    """
+    if not any(cost for _, cost in vp_costs):
+        return None
+    order = sorted(vp_costs, key=lambda rc: (-rc[1], rc[0]))
+    loads = [0.0] * cores
+    assignment: dict[int, float] = {}
+    for rank, cost in order:
+        core = min(range(cores), key=lambda c: (loads[c], c))
+        assignment[rank] = core
+        loads[core] += cost
+    return assignment
+
+
 def node_compute_time(core_costs: dict[int, float]) -> float:
     """Node compute time: the slowest core's accumulated VP cost."""
     if not core_costs:

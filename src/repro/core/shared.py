@@ -279,6 +279,25 @@ def _rows_exact(idx: object) -> bool:
     return not (isinstance(idx, tuple) and len(idx) > 1)
 
 
+#: Worker-side shared-handle resolver (set by
+#: :mod:`repro.parallel.worker` while a worker services commands).
+#: Pickling a shared variable serialises only its *name*; unpickling
+#: resolves the name here, so kernel arguments captured by the process
+#: backend rebind to the worker's own proxies instead of dragging the
+#: parent's arrays across the pipe.
+_PICKLE_REGISTRY: dict[str, "_SharedBase"] | None = None
+
+
+def _unpickle_shared(name: str) -> "_SharedBase":
+    if _PICKLE_REGISTRY is None:
+        raise RuntimeError(
+            f"shared variable {name!r} can only be unpickled inside a "
+            "repro.parallel worker process (shared handles serialise as "
+            "name references, not data)"
+        )
+    return _PICKLE_REGISTRY[name]
+
+
 class _SharedBase:
     """Common machinery of both shared-variable kinds."""
 
@@ -358,6 +377,9 @@ class _SharedBase:
             self._access_cache[key] = rec
         return rec
 
+    def __reduce__(self):
+        return (_unpickle_shared, (self.name,))
+
     @property
     def itemsize(self) -> int:
         return self.dtype.itemsize
@@ -397,7 +419,12 @@ class GlobalShared(_SharedBase):
         super().__init__(runtime, name, shape, dtype)
         n_nodes = runtime.cluster.n_nodes
         n0 = self.shape[0]
-        if fill is None:
+        shm = runtime.shm
+        if shm is not None:
+            # Process backend: the committed store lives in a shared-
+            # memory segment that worker processes map by name.
+            self._data = shm.allocate(name, None, self.shape, self.dtype, fill)
+        elif fill is None:
             self._data = np.empty(self.shape, dtype=self.dtype)
         else:
             self._data = np.full(self.shape, fill, dtype=self.dtype)
@@ -465,7 +492,14 @@ class GlobalShared(_SharedBase):
         """
         if self._views_taken:
             self._views_taken = False
-            self._data = self._data.copy()
+            shm = self.runtime.shm
+            if shm is None:
+                self._data = self._data.copy()
+            else:
+                # Segment swap: workers holding snapshot views keep the
+                # retired segment mapped; they remap to the new name
+                # with their next round command.
+                self._data = shm.swap(self.name, None)
             self._ro = self._data.view()
             self._ro.flags.writeable = False
             starts = self._starts
@@ -665,8 +699,11 @@ class NodeShared(_SharedBase):
         # Per-instance flag: a snapshot view of the current buffer is
         # (or was) out there; the next commit swaps buffers.
         self._views_taken: list[bool] = []
+        shm = runtime.shm
         for node in runtime.cluster:
-            if fill is None:
+            if shm is not None:
+                arr = shm.allocate(name, node.node_id, self.shape, self.dtype, fill)
+            elif fill is None:
                 arr = np.empty(self.shape, dtype=self.dtype)
             else:
                 arr = np.full(self.shape, fill, dtype=self.dtype)
@@ -709,7 +746,11 @@ class NodeShared(_SharedBase):
         :meth:`GlobalShared._commit_target`)."""
         if self._views_taken[instance]:
             self._views_taken[instance] = False
-            self._data[instance] = self._data[instance].copy()
+            shm = self.runtime.shm
+            if shm is None:
+                self._data[instance] = self._data[instance].copy()
+            else:
+                self._data[instance] = shm.swap(self.name, instance)
             ro = self._data[instance].view()
             ro.flags.writeable = False
             self._ro[instance] = ro

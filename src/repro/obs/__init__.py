@@ -42,6 +42,7 @@ from repro.obs.events import (
     Recovery,
     RetryAttempt,
     VpScheduled,
+    WorkerSpan,
     event_from_dict,
 )
 from repro.obs.export import (
@@ -53,7 +54,12 @@ from repro.obs.export import (
     save_trace,
     trace_to_dict,
 )
-from repro.obs.metrics import PhaseReport, ResilienceSummary, RunReport
+from repro.obs.metrics import (
+    PhaseReport,
+    ResilienceSummary,
+    RunReport,
+    WorkerUtilization,
+)
 
 __all__ = [
     "EVENT_TYPES",
@@ -75,6 +81,8 @@ __all__ = [
     "RetryAttempt",
     "RunReport",
     "VpScheduled",
+    "WorkerSpan",
+    "WorkerUtilization",
     "chrome_trace",
     "event_from_dict",
     "format_report",

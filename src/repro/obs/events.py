@@ -20,6 +20,7 @@ Event              Emitted from             One per
 `MessageRecv`      core/scheduler.py        wire transfer arriving
 `BarrierWait`      machine/network.py       phase-closing synchronisation
 `PhaseCommit`      core/runtime.py          phase, after its barrier
+`WorkerSpan`       parallel/backend.py      (phase round, worker process)
 `FaultInjected`    resilience/manager.py    fault the injector fired
 `RetryAttempt`     resilience/retry.py      re-sent bundle flight
 `CheckpointTaken`  resilience/checkpoint.py coordinated checkpoint
@@ -210,6 +211,26 @@ class PhaseCommit(Event):
 
 
 @dataclass(frozen=True)
+class WorkerSpan(Event):
+    """One worker process serviced one phase round of the
+    ``executor="process"`` backend.
+
+    ``phase`` is the index of the first phase of the round (a node
+    round runs all concurrently-ready node phases in one dispatch);
+    ``vps`` counts the VP bodies the worker advanced; ``host_s`` is
+    *host* wall-clock seconds the worker spent on the round — real
+    time, unlike every other duration in the trace, which is simulated.
+    The per-worker utilization table of
+    :class:`~repro.obs.metrics.RunReport` aggregates these."""
+
+    kind: ClassVar[str] = "worker_span"
+
+    worker: int
+    vps: int
+    host_s: float
+
+
+@dataclass(frozen=True)
 class FaultInjected(Event):
     """The fault injector fired one planned fault.
 
@@ -297,6 +318,7 @@ EVENT_TYPES: dict[str, type[Event]] = {
         MessageRecv,
         BarrierWait,
         PhaseCommit,
+        WorkerSpan,
         FaultInjected,
         RetryAttempt,
         CheckpointTaken,

@@ -291,6 +291,29 @@ def format_report(report: RunReport) -> str:
             f"resilience overhead: "
             f"{100 * rs.overhead(report.elapsed):.1f}% of elapsed"
         )
+    if report.workers is not None:
+        # Section appears only for process-backend runs, so inline
+        # report output stays byte-identical to earlier versions.
+        lines.append("")
+        lines.append("-- worker utilization (host wall-clock) --")
+        wh = ["worker", "rounds", "vps", "busy_ms", "util%"]
+        wrows = [
+            [
+                str(w.worker),
+                str(w.rounds),
+                str(w.vps),
+                _fmt_ms(w.busy_s),
+                f"{100 * w.utilization:.0f}",
+            ]
+            for w in report.workers
+        ]
+        wwidths = [
+            max(len(h), *(len(r[i]) for r in wrows)) if wrows else len(h)
+            for i, h in enumerate(wh)
+        ]
+        lines.append("  ".join(h.rjust(w) for h, w in zip(wh, wwidths)))
+        for r in wrows:
+            lines.append("  ".join(v.rjust(w) for v, w in zip(r, wwidths)))
     return "\n".join(lines)
 
 
@@ -352,6 +375,23 @@ def report_to_dict(report: RunReport) -> dict:
                 }
             }
             if report.resilience is not None
+            else {}
+        ),
+        # Same pattern for the process-backend worker table.
+        **(
+            {
+                "workers": [
+                    {
+                        "worker": w.worker,
+                        "rounds": w.rounds,
+                        "vps": w.vps,
+                        "busy_s": w.busy_s,
+                        "utilization": w.utilization,
+                    }
+                    for w in report.workers
+                ]
+            }
+            if report.workers is not None
             else {}
         ),
     }

@@ -41,7 +41,67 @@ from repro.obs.events import (
     Recovery,
     RetryAttempt,
     VpScheduled,
+    WorkerSpan,
 )
+
+
+@dataclass(frozen=True)
+class WorkerUtilization:
+    """Host-side utilization of one ``executor="process"`` worker
+    (present on a :class:`RunReport` only when the trace carries
+    :class:`~repro.obs.events.WorkerSpan` events, i.e. the run used the
+    process backend with tracing on).
+
+    * **rounds** — phase rounds the worker serviced.
+    * **vps** — VP bodies it advanced across those rounds.
+    * **busy_s** — real (host wall-clock) seconds spent inside round
+      bodies; unlike every other duration in the report these are not
+      simulated.
+    * **utilization** — ``busy_s`` over the pool's critical path (the
+      sum over rounds of the slowest worker's span): 1.0 means this
+      worker was the bottleneck of every round, low values mean it
+      mostly waited on its siblings at the round barrier.
+    """
+
+    worker: int
+    rounds: int
+    vps: int
+    busy_s: float
+    utilization: float
+
+
+def _worker_table(spans: list[WorkerSpan]) -> tuple[WorkerUtilization, ...]:
+    """Aggregate :class:`WorkerSpan` events into per-worker rows.
+
+    Spans arrive round by round, each round in ascending worker order
+    (the backend emits them from one loop), so a non-increasing worker
+    id marks a round boundary.
+    """
+    per_worker: dict[int, list] = {}
+    critical = 0.0
+    round_max = 0.0
+    prev_worker = None
+    for ev in spans:
+        if prev_worker is not None and ev.worker <= prev_worker:
+            critical += round_max
+            round_max = 0.0
+        prev_worker = ev.worker
+        round_max = max(round_max, ev.host_s)
+        acc = per_worker.setdefault(ev.worker, [0, 0, 0.0])
+        acc[0] += 1
+        acc[1] += ev.vps
+        acc[2] += ev.host_s
+    critical += round_max
+    return tuple(
+        WorkerUtilization(
+            worker=w,
+            rounds=acc[0],
+            vps=acc[1],
+            busy_s=acc[2],
+            utilization=acc[2] / critical if critical > 0 else 0.0,
+        )
+        for w, acc in sorted(per_worker.items())
+    )
 
 
 @dataclass(frozen=True)
@@ -135,6 +195,10 @@ class RunReport:
     resilience: ResilienceSummary | None = None
     """Aggregates of the resilience event stream; None for a run
     without fault injection, checkpointing or recovery."""
+    workers: tuple[WorkerUtilization, ...] | None = None
+    """Per-worker utilization of the ``executor="process"`` pool
+    (aggregated :class:`~repro.obs.events.WorkerSpan` events); None for
+    inline runs."""
 
     # -- construction --------------------------------------------------
     @classmethod
@@ -160,6 +224,7 @@ class RunReport:
             "lost_work": 0.0,
         }
         saw_resilience = False
+        spans: list[WorkerSpan] = []
 
         def bucket(phase: int) -> dict:
             if phase not in acc:
@@ -218,6 +283,8 @@ class RunReport:
                 res["recoveries"] += 1
                 res["recovery_time"] += ev.t_resume - ev.t_crash
                 res["lost_work"] += ev.lost_work
+            elif isinstance(ev, WorkerSpan):
+                spans.append(ev)
 
         reports = []
         for phase in sorted(commits):
@@ -262,6 +329,7 @@ class RunReport:
         return cls(
             phases=tuple(reports),
             resilience=ResilienceSummary(**res) if saw_resilience else None,
+            workers=_worker_table(spans) if spans else None,
         )
 
     @classmethod

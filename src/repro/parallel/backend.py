@@ -1,0 +1,373 @@
+"""The process execution backend: parent-side round orchestration.
+
+:class:`ProcessBackend` is the object ``PpmRuntime`` delegates to when
+``executor="process"``.  The division of labour keeps the bitwise
+contract trivially auditable:
+
+* **workers** run the VP generators (the only part of a PPM program
+  that needs real cores) against mapped shared-memory snapshots and
+  ship back compact recordings — per-VP costs/declarations, row specs,
+  buffered write operations, collective contributions;
+* the **parent** replays those recordings into an ordinary
+  :class:`~repro.core.phase.PhaseRecorder` in global-VP-rank order and
+  then runs the *unchanged* commit, bundling, timing, tracing and
+  sanitizer pipeline.  Every float accumulates in the same order and
+  every buffered op applies through the same engine as the inline
+  executor, so committed arrays and simulated clocks are
+  bitwise-identical (property-tested in ``tests/parallel``).
+
+Shards are contiguous global-rank ranges, one per worker, so
+concatenating worker reports in worker order *is* VP-rank order.
+A phase round costs exactly one command round-trip per worker — node
+phases that are concurrently ready dispatch as a single round.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+
+from repro.core.collectives import CollectiveSlot
+from repro.core.constructs import PhaseDecl
+from repro.core.errors import ParallelConfigError, PhaseUsageError
+from repro.core.shared import NodeShared, RowSpec, WriteEvent
+from repro.obs.events import WorkerSpan
+from repro.parallel.pool import WorkerPool
+
+
+def default_workers() -> int:
+    """Worker count used when ``run_ppm(..., workers=None)``: the CPU
+    count, clamped to [2, 8] (beyond 8, pipe traffic outweighs extra
+    cores for typical phase bodies)."""
+    return max(2, min(8, os.cpu_count() or 2))
+
+
+class ProcessBackend:
+    """Parent half of the ``executor="process"`` engine."""
+
+    def __init__(self, runtime) -> None:
+        self.rt = runtime
+        self.n_workers = runtime.workers or default_workers()
+        self._pool = WorkerPool(
+            self.n_workers, {"config": runtime.cluster.config}
+        )
+        # Per-do decode state (reset by start_do).
+        self._vp_index: dict = {}
+        self._arrays: list[dict] = []
+        self._specs: list[dict] = []
+        self._range_specs: dict = {}
+        self._decls: dict = {}
+        self._coll_outbox: list = []
+        self._global_reports = None
+        self._node_reports = None
+
+    # ==================================================================
+    # do lifecycle
+    # ==================================================================
+    def start_do(self, counts, funcs, args, kwargs, default_decl, vps_by_node):
+        """Ship the kernel, shared-segment map and VP shards."""
+        rt = self.rt
+        # Segment names shipped below are current; earlier swaps are
+        # irrelevant to workers that are only now attaching.
+        rt.shm.drain_remaps()
+        try:
+            blob = pickle.dumps(
+                (funcs, args, kwargs), protocol=pickle.HIGHEST_PROTOCOL
+            )
+        except Exception as exc:
+            raise ParallelConfigError(
+                "executor='process' ships the PPM function and its "
+                f"arguments to worker processes, but pickling failed: "
+                f"{exc!r}.  Use module-level functions and picklable "
+                "arguments (lambdas and locally-defined closures are not)",
+                code="PPM501",
+            ) from exc
+        shared_specs = []
+        for name, sv in rt.shared_registry.items():
+            if isinstance(sv, NodeShared):
+                segs = [
+                    (node_id, rt.shm.segment_of(name, node_id))
+                    for node_id in range(rt.cluster.n_nodes)
+                ]
+                shared_specs.append((name, "node", sv.shape, sv.dtype, segs))
+            else:
+                shared_specs.append(
+                    (name, "global", sv.shape, sv.dtype,
+                     rt.shm.segment_of(name, None))
+                )
+        common = {
+            "hot_path": rt.hot_path,
+            "kernel": blob,
+            "counts": list(counts),
+            "default_decl": (default_decl.kind, default_decl.latency_rounds),
+            "shared": shared_specs,
+        }
+        total = sum(counts)
+        w = self.n_workers
+        payloads = [
+            {
+                "common": common,
+                "shard": ((i * total) // w, ((i + 1) * total) // w),
+            }
+            for i in range(w)
+        ]
+        self._vp_index = {
+            vp.ctx.global_rank: vp
+            for node_vps in vps_by_node
+            for vp in node_vps
+        }
+        self._arrays = [{} for _ in range(w)]
+        self._specs = [{} for _ in range(w)]
+        self._range_specs = {}
+        self._decls = {}
+        self._coll_outbox = []
+        self._global_reports = None
+        self._node_reports = None
+        self._pool.roundtrip("do_start", None, per_worker=payloads)
+
+    def run_prologue(self, vps_by_node) -> None:
+        """Run every VP to its first phase declaration, worker-side."""
+        for states in self._pool.roundtrip("prologue", None):
+            if states is None:
+                continue
+            for grank, done, decl, _cost in states:
+                self._apply_state(self._vp_index[grank], done, decl)
+
+    def end_do(self) -> None:
+        """Release per-do worker state; best-effort because this runs
+        in the ``finally`` of ``do`` with any real error propagating."""
+        self._pool.best_effort("do_end", None)
+        self.rt.shm.sweep()
+        self._global_reports = None
+        self._node_reports = None
+        self._coll_outbox = []
+
+    def close(self) -> None:
+        self._pool.close()
+
+    # ==================================================================
+    # Phase rounds
+    # ==================================================================
+    def begin_round(self, kind: str, nodes, vps_by_node) -> None:
+        """Dispatch one phase round to the workers and stash their
+        reports for :meth:`fill_recorder`."""
+        rt = self.rt
+        body_vps = [vp for n in nodes for vp in vps_by_node[n]]
+        core_map = None
+        if rt.config.load_balancing:
+            # The parent owns the (deterministic, cost-history-based)
+            # LPT packing; workers receive the resulting map so VP code
+            # observes the same ctx.core_id as inline execution.
+            rt._assign_cores(body_vps)
+            core_map = {
+                vp.ctx.global_rank: vp.ctx.core_id
+                for vp in body_vps
+                if not vp.done
+            }
+        cmd = {
+            "kind": kind,
+            "nodes": list(nodes),
+            "coll_results": self._coll_outbox,
+            "remaps": rt.shm.drain_remaps(),
+            "core_map": core_map,
+        }
+        self._coll_outbox = []
+        replies = self._pool.roundtrip("round", cmd)
+        # Merge snapshot-view flags before any commit of this round so
+        # the copy-on-commit guard sees worker-held views.
+        registry = rt.shared_registry
+        for rep in replies:
+            if rep is None:
+                continue
+            for name, instance in rep["views"]:
+                sv = registry[name]
+                if instance is None:
+                    sv._views_taken = True
+                else:
+                    sv._views_taken[instance] = True
+        if kind == "global":
+            self._global_reports = [
+                (w, rep["report"])
+                for w, rep in enumerate(replies)
+                if rep is not None
+            ]
+            self._node_reports = None
+        else:
+            node_map: dict[int, list] = {}
+            for w, rep in enumerate(replies):
+                if rep is None:
+                    continue
+                for node_id, report in rep["nodes"]:
+                    node_map.setdefault(node_id, []).append((w, report))
+            self._node_reports = node_map
+            self._global_reports = None
+        tr = rt.tracer
+        if tr is not None:
+            phase_index = rt.stats_global_phases + rt.stats_node_phases
+            for w, rep in enumerate(replies):
+                if rep is None:
+                    continue
+                tr.emit(
+                    WorkerSpan(
+                        phase=phase_index,
+                        worker=w,
+                        vps=rep["advanced"],
+                        host_s=rep["host_s"],
+                    )
+                )
+
+    def fill_recorder(self, recorder, vps) -> None:
+        """Replay this round's worker reports for ``vps`` into the
+        parent recorder — the process-mode body of
+        ``_execute_phase_bodies``, reproducing its exact rec ordering
+        and float-accumulation structure."""
+        if self._global_reports is not None:
+            reports = self._global_reports
+            self._global_reports = None
+        else:
+            node_id = vps[0].ctx.node_id
+            reports = self._node_reports.pop(node_id, [])
+        by_rank: dict[int, tuple] = {}
+        for w, rep in reports:
+            self._merge_report(recorder, w, rep, by_rank)
+        tr = recorder.tracer
+        core_costs = recorder.core_costs
+        run_node = -1
+        inner = None
+        for vp in vps:
+            if vp.done:
+                continue
+            ctx = vp.ctx
+            done, decl, cost = by_rank[ctx.global_rank]
+            if tr is not None:
+                recorder.add_vp_cost(
+                    ctx.node_id, ctx.core_id, cost, vp=ctx.global_rank
+                )
+            elif cost:
+                if ctx.node_id != run_node:
+                    run_node = ctx.node_id
+                    inner = core_costs[run_node]
+                core = ctx.core_id
+                inner[core] = inner.get(core, 0.0) + cost
+            vp.last_cost = cost
+            self._apply_state(vp, done, decl)
+
+    def harvest_collectives(self, recorder, node_key) -> None:
+        """Queue the round's resolved collective results for broadcast
+        with the next round command (worker-held handles resolve from
+        them).  ``node_key`` is ``None`` for a global phase, the node
+        id for a node phase."""
+        slots = recorder.collective_slots
+        if not slots:
+            return
+        results = []
+        for slot in slots:
+            if slot.kind == "reduce":
+                payload = slot.entries[0][2]._value if slot.entries else None
+            else:  # scan: per-contributor prefix, keyed by global rank
+                payload = {
+                    rank: handle._value for rank, _v, handle in slot.entries
+                }
+            results.append((slot.kind, payload))
+        self._coll_outbox.append((node_key, results))
+
+    # ==================================================================
+    # Report decoding
+    # ==================================================================
+    def _apply_state(self, vp, done: bool, decl) -> None:
+        if done:
+            vp.done = True
+            vp.decl = None
+        else:
+            vp.decl = self._decl(decl)
+            vp.phase_index += 1
+
+    def _decl(self, key) -> PhaseDecl:
+        decl = self._decls.get(key)
+        if decl is None:
+            decl = self._decls[key] = PhaseDecl(key[0], latency_rounds=key[1])
+        return decl
+
+    def _array(self, w: int, enc):
+        if enc[0] == "n":
+            _tag, iid, arr = enc
+            self._arrays[w][iid] = arr
+            return arr
+        return self._arrays[w][enc[1]]
+
+    def _spec(self, w: int, enc) -> RowSpec:
+        if enc[0] == "R":
+            _tag, start, stop, step = enc
+            key = (start, stop, step)
+            spec = self._range_specs.get(key)
+            if spec is None:
+                spec = self._range_specs[key] = RowSpec(start, stop, step)
+            return spec
+        arr_enc = enc[1]
+        iid = arr_enc[1]
+        # Interned per (worker, id): iterative kernels reuse the same
+        # index arrays phase after phase, so the parent presents stable
+        # RowSpec objects to the bundling memo — the same cache-hit
+        # behaviour the inline fast path gets from its access cache.
+        spec = self._specs[w].get(iid)
+        if spec is None:
+            spec = self._specs[w][iid] = RowSpec.from_array(
+                self._array(w, arr_enc)
+            )
+        elif arr_enc[0] == "n":
+            self._array(w, arr_enc)  # keep the decode table consistent
+        return spec
+
+    def _idx(self, w: int, enc):
+        tag, payload = enc
+        if tag == "a":
+            return self._array(w, payload)
+        return payload
+
+    def _merge_report(self, recorder, w: int, rep: dict, by_rank: dict) -> None:
+        registry = self.rt.shared_registry
+        recorder.absorb_global_reads(
+            (node_id, registry[name],
+             [self._spec(w, e) for e in specs], n_elem)
+            for node_id, name, specs, n_elem in rep["greads"]
+        )
+        recorder.absorb_global_writes(
+            (node_id, registry[name],
+             [self._spec(w, e) for e in specs], n_elem)
+            for node_id, name, specs, n_elem in rep["gwrites"]
+        )
+        recorder.absorb_ops(
+            WriteEvent(
+                registry[name], instance, op_kind, op,
+                self._idx(w, idx_enc), value, self._spec(w, spec_enc),
+                rank, rows_exact,
+            )
+            for name, instance, op_kind, op, idx_enc, value, spec_enc,
+                rank, rows_exact in rep["ops"]
+        )
+        for node_id, n_elem in rep["nwe"].items():
+            recorder.node_write_elems[node_id] += n_elem
+        recorder.node_read_ops += rep["nro"]
+        recorder.node_read_elems += rep["nre"]
+        slots = recorder.collective_slots
+        for i, kind, op, entries in rep["colls"]:
+            while len(slots) <= i:
+                slots.append(CollectiveSlot(kind, op))
+            slot = slots[i]
+            # Cross-worker compatibility: kinds must match; ops compare
+            # by equality only when comparable (unpickled callables are
+            # distinct objects, and each worker already enforced
+            # intra-worker compatibility).
+            if kind != slot.kind or (
+                (isinstance(op, str) or isinstance(slot.op, str))
+                and op != slot.op
+            ):
+                raise PhaseUsageError(
+                    f"mismatched phase collectives across workers: slot {i} "
+                    f"is {slot.kind!r}/{slot.op!r}, a worker recorded "
+                    f"{kind!r}/{op!r}"
+                )
+            for rank, value in entries:
+                slot.add(rank, value)
+        for grank, done, decl, cost in rep["vps"]:
+            by_rank[grank] = (done, decl, cost)

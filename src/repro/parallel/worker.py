@@ -1,0 +1,371 @@
+"""Worker-process engine of the ``executor="process"`` backend.
+
+Each worker owns a contiguous global-rank shard of the VPs and runs
+their *generators* with a private sequential :class:`PpmRuntime` — the
+exact engine the inline executor uses, so every access-protocol rule
+(snapshot reads, buffered writes, node-phase write protection, phase
+errors) is enforced in-place and every recorded quantity is computed
+by the same code.  The differences from inline execution are confined
+to the edges:
+
+* shared-variable *committed stores* are not private arrays but
+  :mod:`multiprocessing.shared_memory` segments mapped by name
+  (zero-copy snapshots; see :class:`repro.parallel.shm.ShmRegistry`);
+* each round's recordings are not committed locally but *encoded* into
+  a compact report the parent merges and commits through its unchanged
+  pipeline — index arrays are interned per worker so a spec shipped
+  once is later referenced by id;
+* collective handles held by VP code resolve from the parent's
+  round-commit results, shipped with the next round command.
+
+The command handlers mirror :class:`repro.parallel.pool.WorkerPool`'s
+protocol; :func:`worker_main` is the process entry point.
+"""
+
+from __future__ import annotations
+
+import pickle
+import time
+import traceback
+
+import numpy as np
+
+from repro.core import shared as shared_mod
+from repro.core.constructs import PhaseDecl
+from repro.core.phase import PhaseRecorder
+from repro.core.shared import GlobalShared, NodeShared
+from repro.core.vp import VpContext, core_of
+from repro.machine.cluster import Cluster
+from repro.parallel.shm import WorkerSegmentCache
+
+
+def _ship_exception(exc: BaseException):
+    """Encode an exception for the reply pipe: pickled when possible,
+    its repr + remote traceback otherwise."""
+    tb = "".join(traceback.format_exception(exc))
+    try:
+        blob = pickle.dumps(exc)
+        pickle.loads(blob)  # round-trip check: __reduce__ may lie
+    except Exception:
+        return ("text", repr(exc), tb)
+    return ("pickled", blob, tb)
+
+
+class _ReportEncoder:
+    """Per-do encoder for one worker's round reports.
+
+    Index arrays (row specs and fancy indices) are interned by object
+    identity: the first mention ships the array (``("n", iid, arr)``),
+    later mentions ship a reference (``("r", iid)``).  The table pins
+    every interned array for the do, so an id can never be recycled
+    into a different array mid-do.
+    """
+
+    def __init__(self) -> None:
+        self._known: dict[int, np.ndarray] = {}
+
+    def array(self, arr: np.ndarray):
+        iid = id(arr)
+        if iid in self._known:
+            return ("r", iid)
+        self._known[iid] = arr
+        return ("n", iid, arr)
+
+    def spec(self, spec):
+        if spec.array is None:
+            return ("R", spec.start, spec.stop, spec.step)
+        return ("A", self.array(spec.array))
+
+    def idx(self, idx):
+        if type(idx) is np.ndarray and idx.dtype != np.bool_:
+            return ("a", self.array(idx))
+        return ("v", idx)
+
+
+class _WorkerDo:
+    """State of one in-flight ``ppm.do`` on this worker."""
+
+    def __init__(self, state: "_WorkerState", common: dict, shard) -> None:
+        self.cache = state.cache
+        self.cluster = Cluster(state.config)
+        # Deferred import: the runtime package imports repro.parallel
+        # lazily, never the other way around at module level.
+        from repro.core.runtime import PpmRuntime, _VpRecord
+
+        self.rt = PpmRuntime(self.cluster, hot_path=common["hot_path"])
+        # Shared-variable proxies: identical handles to the parent's,
+        # except their committed stores are the mapped segments.
+        self.proxies: dict[str, object] = {}
+        for name, kind, shape, dtype_str, segs in common["shared"]:
+            dtype = np.dtype(dtype_str)
+            if kind == "global":
+                sv = GlobalShared(self.rt, name, shape, dtype=dtype, fill=None)
+                self._rebind(sv, None, segs)
+            else:
+                sv = NodeShared(self.rt, name, shape, dtype=dtype, fill=None)
+                for instance, seg in segs:
+                    self._rebind(sv, instance, seg)
+            self.proxies[name] = sv
+            self.rt.shared_registry[name] = sv
+        # Kernel blob: shared handles inside it unpickle as name
+        # references resolved against this worker's proxies.
+        shared_mod._PICKLE_REGISTRY = self.proxies
+        try:
+            funcs, args, kwargs = pickle.loads(common["kernel"])
+        finally:
+            shared_mod._PICKLE_REGISTRY = None
+        counts = common["counts"]
+        decl_kind, decl_latency = common["default_decl"]
+        default_decl = PhaseDecl(decl_kind, latency_rounds=decl_latency)
+        total = sum(counts)
+        cores = self.cluster.cores_per_node
+        lo, hi = shard
+        self.vps: list = []  # this worker's _VpRecords, in rank order
+        self.by_node: dict[int, list] = {}
+        offset = 0
+        for node_id, k in enumerate(counts):
+            f = funcs[node_id]
+            genfunc = (
+                self.rt._as_generator(f, default_decl) if f is not None else None
+            )
+            for r in range(k):
+                grank = offset + r
+                if lo <= grank < hi:
+                    ctx = VpContext(
+                        self.rt,
+                        node_id=node_id,
+                        node_rank=r,
+                        global_rank=grank,
+                        node_vp_count=k,
+                        global_vp_count=total,
+                        core_id=core_of(r, k, cores),
+                    )
+                    vp = _VpRecord(ctx, genfunc(ctx, *args, **kwargs))
+                    self.vps.append(vp)
+                    self.by_node.setdefault(node_id, []).append(vp)
+            offset += k
+        self.enc = _ReportEncoder()
+        # node_key (None = global) -> unresolved collective slots of the
+        # previous round, awaiting the parent's commit results.
+        self.pending: dict = {}
+
+    def _rebind(self, sv, instance, segment_name: str) -> None:
+        """Point one proxy instance at its mapped segment."""
+        shape = sv.shape
+        dtype = sv.dtype
+        arr = self.cache.attach(segment_name, shape, dtype)
+        ro = arr.view()
+        ro.flags.writeable = False
+        if instance is None:
+            sv._data = arr
+            sv._ro = ro
+        else:
+            sv._data[instance] = arr
+            sv._ro[instance] = ro
+
+    # ------------------------------------------------------------------
+    def prologue(self):
+        """Run every VP up to its first phase declaration."""
+        for vp in self.vps:
+            self.rt._advance(vp)
+        return [self._vp_state(vp) for vp in self.vps]
+
+    @staticmethod
+    def _vp_state(vp, cost: float = 0.0):
+        decl = vp.decl
+        return (
+            vp.ctx.global_rank,
+            vp.done,
+            None if decl is None else (decl.kind, decl.latency_rounds),
+            cost,
+        )
+
+    # ------------------------------------------------------------------
+    def round(self, cmd: dict) -> dict:
+        t0 = time.perf_counter()
+        # 1. Remap swapped segments (parent copy-on-commit) by name.
+        for name, instance, segment_name in cmd["remaps"]:
+            self._rebind(self.proxies[name], instance, segment_name)
+        # 2. Resolve collective handles from the previous round's commit.
+        for node_key, results in cmd["coll_results"]:
+            slots = self.pending.get(node_key)
+            if not slots:
+                continue
+            for i, (kind, payload) in enumerate(results):
+                if i >= len(slots):
+                    break
+                for rank, _value, handle in slots[i].entries:
+                    handle._resolve(
+                        payload if kind == "reduce" else payload.get(rank)
+                    )
+        self.pending = {}
+        # 3. Apply the parent's load-balanced VP->core assignment.
+        core_map = cmd["core_map"]
+        if core_map:
+            for vp in self.vps:
+                core = core_map.get(vp.ctx.global_rank)
+                if core is not None:
+                    vp.ctx.core_id = core
+        # 4. Run this round's phase bodies for my shard.
+        kind = cmd["kind"]
+        nodes = [n for n in cmd["nodes"] if n in self.by_node]
+        advanced = 0
+        if kind == "global":
+            body_vps = [vp for n in nodes for vp in self.by_node[n]]
+            advanced += sum(1 for vp in body_vps if not vp.done)
+            payload = {"report": self._run_recorder(kind, body_vps, None)}
+        else:
+            reports = []
+            for node_id in nodes:
+                node_vps = self.by_node[node_id]
+                advanced += sum(1 for vp in node_vps if not vp.done)
+                reports.append(
+                    (node_id, self._run_recorder(kind, node_vps, node_id))
+                )
+            payload = {"nodes": reports}
+        # 5. Snapshot-view flags, collected once per round (within a
+        # round, no commit can observe another node's phase activity:
+        # node phases touch disjoint instances and cannot write global
+        # arrays, so round-level granularity is exact).
+        views = []
+        for name, sv in self.proxies.items():
+            flags = sv._views_taken
+            if isinstance(sv, NodeShared):
+                for instance, flag in enumerate(flags):
+                    if flag:
+                        views.append((name, instance))
+                        flags[instance] = False
+            elif flags:
+                views.append((name, None))
+                sv._views_taken = False
+        payload["views"] = views
+        payload["advanced"] = advanced
+        payload["host_s"] = time.perf_counter() - t0
+        return payload
+
+    def _run_recorder(self, kind: str, vps: list, node_key) -> dict:
+        """Advance the listed VPs under a fresh recorder; encode it."""
+        rt = self.rt
+        recorder = PhaseRecorder(kind)
+        rt.phase = recorder
+        vp_states = []
+        try:
+            for vp in vps:
+                if vp.done:
+                    continue
+                ctx = vp.ctx
+                ctx._cost = 0.0
+                ctx._coll_index = 0
+                rt._advance(vp)
+                vp_states.append(self._vp_state(vp, ctx._cost))
+                ctx._cost = 0.0
+        finally:
+            rt.phase = None
+        self.pending[node_key] = recorder.collective_slots
+        return self._encode(recorder, vp_states)
+
+    def _encode(self, recorder: PhaseRecorder, vp_states: list) -> dict:
+        enc = self.enc
+        return {
+            "vps": vp_states,
+            "greads": [
+                (node_id, sv.name, [enc.spec(s) for s in specs], n_elem)
+                for (node_id, sv), (specs, n_elem) in recorder.global_read_recs.items()
+            ],
+            "gwrites": [
+                (node_id, sv.name, [enc.spec(s) for s in specs], n_elem)
+                for (node_id, sv), (specs, n_elem) in recorder.global_write_recs.items()
+            ],
+            "ops": [
+                (
+                    ev.shared.name,
+                    ev.instance,
+                    ev.kind,
+                    ev.op,
+                    enc.idx(ev.idx),
+                    ev.value,
+                    enc.spec(ev.rows),
+                    ev.rank,
+                    ev.rows_exact,
+                )
+                for ev in recorder.write_ops
+            ],
+            "nwe": dict(recorder.node_write_elems),
+            "nro": recorder.node_read_ops,
+            "nre": recorder.node_read_elems,
+            "colls": [
+                (i, slot.kind, slot.op, [(r, v) for r, v, _h in slot.entries])
+                for i, slot in enumerate(recorder.collective_slots)
+                if slot.entries
+            ],
+        }
+
+
+class _WorkerState:
+    """Long-lived per-process state across ``do`` invocations."""
+
+    def __init__(self, worker_id: int) -> None:
+        self.worker_id = worker_id
+        self.config = None
+        self.cache = WorkerSegmentCache()
+        self.do: _WorkerDo | None = None
+
+    def handle(self, tag: str, payload):
+        if tag == "init":
+            self.config = payload["config"]
+            return None
+        if tag == "do_start":
+            self.do = _WorkerDo(self, payload["common"], payload["shard"])
+            return None
+        if tag == "prologue":
+            return self.do.prologue()
+        if tag == "round":
+            return self.do.round(payload)
+        if tag == "do_end":
+            self.do = None
+            self.cache.clear()
+            return None
+        raise RuntimeError(f"unknown worker command {tag!r}")
+
+
+def worker_main(conn, worker_id: int) -> None:
+    """Entry point of one worker process: serve commands until
+    ``shutdown`` or a closed pipe."""
+    state = _WorkerState(worker_id)
+    while True:
+        try:
+            tag, payload = conn.recv()
+        except (EOFError, OSError, KeyboardInterrupt):
+            break
+        if tag == "shutdown":
+            break
+        try:
+            reply = ("ok", state.handle(tag, payload))
+        except KeyboardInterrupt:
+            reply = ("interrupt", None)
+        except BaseException as exc:  # noqa: BLE001 - shipped to parent
+            reply = ("exc", _ship_exception(exc))
+        try:
+            conn.send(reply)
+        except KeyboardInterrupt:
+            break
+        except Exception as exc:
+            # The reply itself would not serialise (e.g. a collective
+            # carrying an unpicklable value).  Degrade to a PPM504
+            # diagnostic so the protocol stays in sync.
+            try:
+                conn.send(
+                    (
+                        "exc",
+                        (
+                            "ppm504",
+                            "a worker reply could not be serialised — "
+                            "values shipped between phases (collective "
+                            "contributions, written values) must be "
+                            f"picklable: {exc!r}",
+                            traceback.format_exc(),
+                        ),
+                    )
+                )
+            except Exception:  # pragma: no cover - pipe gone
+                break

@@ -1,0 +1,89 @@
+"""Tracing under the process backend: the event stream must equal the
+inline stream exactly, plus interleaved ``WorkerSpan`` events that the
+``RunReport`` worker-utilization table aggregates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config import testing as mkconfig
+from repro.core import run_ppm
+from repro.machine import Cluster
+from repro.obs import PhaseTrace, RunReport, format_report, report_to_dict
+
+
+def _cluster():
+    return Cluster(mkconfig(n_nodes=2, cores_per_node=2))
+
+
+def traced_kernel(ctx, A):
+    yield ctx.global_phase
+    A[ctx.global_rank] = float(ctx.global_rank)
+    h = ctx.reduce(1, "sum")
+    yield ctx.node_phase
+    ctx.work(100.0 * h.value)
+    yield ctx.global_phase
+    _ = A[(ctx.global_rank + 1) % len(A)]
+    yield ctx.global_phase
+
+
+def traced_main(ppm):
+    A = ppm.global_shared("A", 8)
+    ppm.do(4, traced_kernel, A)
+    return A.committed.copy()
+
+
+class TestTraceEquivalence:
+    def test_event_stream_identical_modulo_worker_spans(self):
+        tr1, tr2 = PhaseTrace(), PhaseTrace()
+        _, r1 = run_ppm(traced_main, _cluster(), trace=tr1)
+        _, r2 = run_ppm(
+            traced_main, _cluster(), trace=tr2, executor="process", workers=2
+        )
+        np.testing.assert_array_equal(r1, r2)
+        inline = [e.to_dict() for e in tr1.events]
+        proc = [e.to_dict() for e in tr2.events if e.kind != "worker_span"]
+        assert inline == proc
+
+    def test_worker_spans_emitted(self):
+        tr = PhaseTrace()
+        run_ppm(traced_main, _cluster(), trace=tr, executor="process", workers=2)
+        spans = list(tr.by_kind("worker_span"))
+        assert spans, "process backend must emit WorkerSpan events"
+        assert {s.worker for s in spans} == {0, 1}
+        assert all(s.host_s >= 0.0 for s in spans)
+        # Every VP advance is attributed to exactly one worker span.
+        vp_events = sum(1 for e in tr.events if e.kind == "vp_scheduled")
+        assert sum(s.vps for s in spans) == vp_events
+
+    def test_run_report_worker_table(self):
+        tr = PhaseTrace()
+        run_ppm(traced_main, _cluster(), trace=tr, executor="process", workers=2)
+        rep = RunReport.from_trace(tr)
+        assert rep.workers is not None and len(rep.workers) == 2
+        for w in rep.workers:
+            assert w.rounds > 0
+            assert 0.0 <= w.utilization <= 1.0
+        assert "worker utilization" in format_report(rep)
+        assert "workers" in report_to_dict(rep)
+
+    def test_inline_report_has_no_worker_table(self):
+        tr = PhaseTrace()
+        run_ppm(traced_main, _cluster(), trace=tr)
+        rep = RunReport.from_trace(tr)
+        assert rep.workers is None
+        assert "worker utilization" not in format_report(rep)
+        assert "workers" not in report_to_dict(rep)
+
+    def test_worker_span_round_trips_through_trace_file(self, tmp_path):
+        from repro.obs import load_trace, save_trace
+
+        tr = PhaseTrace()
+        run_ppm(traced_main, _cluster(), trace=tr, executor="process", workers=2)
+        path = tmp_path / "proc.trace.json"
+        save_trace(tr, str(path))
+        loaded = load_trace(str(path))
+        assert [e.to_dict() for e in loaded.events] == [
+            e.to_dict() for e in tr.events
+        ]

@@ -1,0 +1,212 @@
+"""Semantics of the ``executor="process"`` backend: configuration
+validation (PPM5xx), kernel shipping, and feature coverage — multi-do
+drivers, kwargs forwarding, node phases, collectives, load balancing
+and the sanitizer.
+
+Kernels live at module level because the backend ships them to worker
+processes by pickling (locally-defined closures raise ``PPM501``; see
+``test_unpicklable_kernel``).
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.config import testing as mkconfig
+from repro.core import run_ppm
+from repro.core.errors import ParallelConfigError
+from repro.machine import Cluster
+
+
+def _cluster(n_nodes=2, cores=2, **cfg):
+    return Cluster(mkconfig(n_nodes=n_nodes, cores_per_node=cores, **cfg))
+
+
+# ----------------------------------------------------------------------
+# Module-level kernels (picklable by qualified name)
+# ----------------------------------------------------------------------
+
+def writer_kernel(ctx, A, scale=1.0):
+    yield ctx.global_phase
+    A[ctx.global_rank] = ctx.global_rank * scale
+    yield ctx.global_phase
+
+
+def incr_kernel(ctx, A):
+    yield ctx.global_phase
+    v = float(A[ctx.global_rank])
+    A[ctx.global_rank] = v + 1.0
+    yield ctx.global_phase
+
+
+def mixed_kernel(ctx, A, B):
+    """Global + node phases, reduce, scan, accumulate, remote reads."""
+    n = ctx.global_vp_count
+    yield ctx.global_phase
+    A[ctx.global_rank] = float(ctx.global_rank)
+    h = ctx.reduce(ctx.global_rank + 1, "sum")
+    yield ctx.global_phase
+    total = h.value
+    # Remote read: every VP reads the element its successor wrote.
+    peer = float(A[(ctx.global_rank + 1) % n])
+    s = ctx.scan(int(peer) + 1, "sum")
+    yield ctx.node_phase
+    B[ctx.node_rank % len(B)] = total + ctx.node_rank
+    yield ctx.global_phase
+    A.accumulate(np.array([ctx.global_rank % 3]), np.array([s.value * 0.5]))
+    yield ctx.global_phase
+
+
+def conflict_kernel(ctx, A):
+    yield ctx.global_phase
+    A[0] = float(ctx.global_rank)  # every rank writes element 0
+    yield ctx.global_phase
+
+
+def main_mixed(ppm):
+    A = ppm.global_shared("A", 16)
+    B = ppm.node_shared("B", 8)
+    ppm.do(8, mixed_kernel, A, B)
+    return A.committed.copy(), B.instance(0).copy(), B.instance(1).copy()
+
+
+# ----------------------------------------------------------------------
+# Configuration validation
+# ----------------------------------------------------------------------
+
+class TestConfigErrors:
+    def test_unknown_executor_ppm502(self):
+        with pytest.raises(ParallelConfigError) as ei:
+            run_ppm(main_mixed, _cluster(), executor="threads")
+        assert ei.value.code == "PPM502"
+
+    @pytest.mark.parametrize("workers", [0, -3, 1.5, "four"])
+    def test_bad_workers_ppm502(self, workers):
+        with pytest.raises(ParallelConfigError) as ei:
+            run_ppm(main_mixed, _cluster(), executor="process", workers=workers)
+        assert ei.value.code == "PPM502"
+
+    def test_workers_ignored_without_process_executor(self):
+        # An explicit workers= is validated even for inline runs.
+        with pytest.raises(ParallelConfigError):
+            run_ppm(main_mixed, _cluster(), workers=0)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"vp_executor": "threads"},
+            {"sanitize": "auto"},
+            {"checkpoint_every": 2},
+        ],
+    )
+    def test_unsupported_combos_ppm503(self, kwargs):
+        with pytest.raises(ParallelConfigError) as ei:
+            run_ppm(main_mixed, _cluster(), executor="process", **kwargs)
+        assert ei.value.code == "PPM503"
+
+    def test_resilience_policy_ppm503(self):
+        from repro.resilience import ResiliencePolicy
+
+        with pytest.raises(ParallelConfigError) as ei:
+            run_ppm(
+                main_mixed,
+                _cluster(),
+                executor="process",
+                resilience=ResiliencePolicy(),
+            )
+        assert ei.value.code == "PPM503"
+
+    def test_certified_overlap_ppm503(self):
+        cl = _cluster(certified_overlap_fraction=0.5)
+        with pytest.raises(ParallelConfigError) as ei:
+            run_ppm(main_mixed, cl, executor="process")
+        assert ei.value.code == "PPM503"
+
+    def test_unpicklable_kernel_ppm501(self):
+        lock = threading.Lock()
+
+        def main(ppm):
+            def vp(ctx):  # local closure: not picklable
+                _ = lock
+                yield ctx.global_phase
+
+            ppm.do(4, vp)
+
+        with pytest.raises(ParallelConfigError) as ei:
+            run_ppm(main, _cluster(), executor="process", workers=2)
+        assert ei.value.code == "PPM501"
+
+
+# ----------------------------------------------------------------------
+# Feature coverage vs the inline executor
+# ----------------------------------------------------------------------
+
+def main_multi_do(ppm):
+    A = ppm.global_shared("A", 32)
+    ppm.do(16, writer_kernel, A, scale=2.0)  # 2 nodes x 16 VPs
+    ppm.do(16, incr_kernel, A)
+    return A.committed.copy()
+
+
+class TestSemantics:
+    def test_mixed_kernel_matches_inline(self):
+        _, r_inline = run_ppm(main_mixed, _cluster())
+        _, r_proc = run_ppm(
+            main_mixed, _cluster(), executor="process", workers=3
+        )
+        for a, b in zip(r_inline, r_proc):
+            np.testing.assert_array_equal(a, b)
+
+    def test_multi_do_reuses_pool(self):
+        ppm1, r1 = run_ppm(main_multi_do, _cluster())
+        ppm2, r2 = run_ppm(
+            main_multi_do, _cluster(), executor="process", workers=2
+        )
+        np.testing.assert_array_equal(r1, r2)
+        assert ppm1.elapsed == ppm2.elapsed
+
+    def test_more_workers_than_vps(self):
+        def main(ppm):
+            A = ppm.global_shared("A", 4)
+            ppm.do(2, writer_kernel, A)
+            return A.committed.copy()
+
+        _, r1 = run_ppm(main, _cluster())
+        _, r2 = run_ppm(main, _cluster(), executor="process", workers=6)
+        np.testing.assert_array_equal(r1, r2)
+
+    def test_single_worker(self):
+        _, r1 = run_ppm(main_mixed, _cluster())
+        _, r2 = run_ppm(main_mixed, _cluster(), executor="process", workers=1)
+        for a, b in zip(r1, r2):
+            np.testing.assert_array_equal(a, b)
+
+    def test_load_balancing_matches_inline(self):
+        def cl():
+            return _cluster(load_balancing=True)
+
+        ppm1, r1 = run_ppm(main_mixed, cl())
+        ppm2, r2 = run_ppm(main_mixed, cl(), executor="process", workers=3)
+        for a, b in zip(r1, r2):
+            np.testing.assert_array_equal(a, b)
+        assert ppm1.elapsed == ppm2.elapsed
+
+    def test_sanitizer_warn_matches_inline(self):
+        def main(ppm):
+            A = ppm.global_shared("A", 8)
+            ppm.do(4, conflict_kernel, A)
+            return [str(d) for d in ppm.diagnostics]
+
+        _, d_inline = run_ppm(main, _cluster(), sanitize="warn")
+        _, d_proc = run_ppm(
+            main, _cluster(), sanitize="warn", executor="process", workers=2
+        )
+        assert d_inline and d_inline == d_proc
+
+    def test_default_workers_clamped(self):
+        from repro.parallel.backend import default_workers
+
+        assert 2 <= default_workers() <= 8

@@ -1,0 +1,141 @@
+"""Teardown and fault paths of the process backend: crashing kernels,
+worker death, unserialisable replies and interrupts must all propagate
+a useful error AND leave no shared-memory segments behind (the
+``PPM.close()`` contract; see docs/PARALLEL.md).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+
+import numpy as np
+import pytest
+
+from repro.config import testing as mkconfig
+from repro.core import run_ppm
+from repro.core.errors import (
+    ParallelConfigError,
+    ParallelExecutionError,
+    VpProgramError,
+)
+from repro.machine import Cluster
+from repro.parallel.shm import live_ppm_segments
+
+
+def _cluster(n_nodes=2, cores=2, **cfg):
+    return Cluster(mkconfig(n_nodes=n_nodes, cores_per_node=cores, **cfg))
+
+
+# -- module-level kernels (shipped to workers by pickle) ---------------
+
+def crashing_kernel(ctx, A):
+    yield ctx.global_phase
+    if ctx.global_rank == 3:
+        raise RuntimeError("kaboom rank 3")
+    A[ctx.global_rank] = 1.0
+    yield ctx.global_phase
+
+
+def interrupting_kernel(ctx, A):
+    yield ctx.global_phase
+    if ctx.global_rank == 2:
+        raise KeyboardInterrupt
+    yield ctx.global_phase
+
+
+def dying_kernel(ctx, A):
+    yield ctx.global_phase
+    if ctx.global_rank == 1:
+        os._exit(17)  # hard kill: no exception ships back
+    yield ctx.global_phase
+
+
+def unpicklable_reduce_kernel(ctx, A):
+    yield ctx.global_phase
+    # A thread lock cannot pickle, so the worker's round reply (which
+    # carries collective contributions) cannot serialise.
+    ctx.reduce(threading.Lock(), "sum")
+    yield ctx.global_phase
+
+
+def main_with(kernel):
+    def main(ppm):
+        A = ppm.global_shared("A", 16)
+        ppm.do(8, kernel, A)
+        return A.committed.copy()
+
+    return main
+
+
+class TestCrashTeardown:
+    def test_vp_error_propagates_and_no_leak(self):
+        with pytest.raises(VpProgramError) as ei:
+            run_ppm(
+                main_with(crashing_kernel),
+                _cluster(),
+                executor="process",
+                workers=2,
+            )
+        assert "kaboom" in str(ei.value)
+        assert live_ppm_segments() == []
+
+    def test_vp_error_matches_inline_type(self):
+        with pytest.raises(VpProgramError) as inline_err:
+            run_ppm(main_with(crashing_kernel), _cluster())
+        with pytest.raises(VpProgramError) as proc_err:
+            run_ppm(
+                main_with(crashing_kernel),
+                _cluster(),
+                executor="process",
+                workers=2,
+            )
+        assert type(inline_err.value) is type(proc_err.value)
+
+    def test_keyboard_interrupt_propagates_and_no_leak(self):
+        with pytest.raises(KeyboardInterrupt):
+            run_ppm(
+                main_with(interrupting_kernel),
+                _cluster(),
+                executor="process",
+                workers=2,
+            )
+        assert live_ppm_segments() == []
+
+    def test_dead_worker_raises_and_no_leak(self):
+        with pytest.raises(ParallelExecutionError) as ei:
+            run_ppm(
+                main_with(dying_kernel),
+                _cluster(),
+                executor="process",
+                workers=2,
+            )
+        assert "died" in str(ei.value)
+        assert live_ppm_segments() == []
+
+    def test_unserialisable_reply_ppm504_and_no_leak(self):
+        with pytest.raises(ParallelConfigError) as ei:
+            run_ppm(
+                main_with(unpicklable_reduce_kernel),
+                _cluster(),
+                executor="process",
+                workers=2,
+            )
+        assert ei.value.code == "PPM504"
+        assert live_ppm_segments() == []
+
+    def test_clean_run_leaves_no_segments(self):
+        def ok_kernel_main(ppm):
+            A = ppm.global_shared("A", 8)
+            ppm.do(4, clean_kernel, A)
+            return A.committed.copy()
+
+        _, r = run_ppm(ok_kernel_main, _cluster(), executor="process", workers=2)
+        assert live_ppm_segments() == []
+        np.testing.assert_array_equal(r, np.arange(8, dtype=float))
+
+
+def clean_kernel(ctx, A):
+    yield ctx.global_phase
+    A[ctx.global_rank] = float(ctx.global_rank)
+    yield ctx.global_phase

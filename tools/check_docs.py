@@ -1,27 +1,35 @@
 #!/usr/bin/env python
-"""Documentation CI: intra-repo link checking and example execution.
+"""Documentation CI: link checking, example execution, API coverage.
 
-Two passes, both offline:
+Three passes, all offline:
 
 1. **Links** — every relative markdown link in the checked documents
    must resolve to a file in the repository, and a ``#fragment`` must
    match a heading anchor (GitHub slug rules) or explicit HTML anchor
    in the target document.  External (``http(s)://``, ``mailto:``)
    links are ignored.
-2. **Examples** — fenced ```python blocks in README.md,
-   docs/OBSERVABILITY.md, docs/RESILIENCE.md and docs/ANALYSIS.md are
-   executed
-   *sequentially in one namespace per file* (so later blocks may use names defined by earlier ones),
+2. **Examples** — fenced ```python blocks in the ``EXEC_DOCS``
+   documents (README, the GUIDE tutorial, PARALLEL, OBSERVABILITY,
+   RESILIENCE, ANALYSIS) are executed *sequentially in one namespace
+   per file* (so later blocks may use names defined by earlier ones),
    exactly as a reader following the document would.  A block preceded
    by an HTML comment containing ``doctest: skip`` is not executed.
+3. **API reference** — every public symbol exported by ``repro`` and
+   by each subsystem package (``repro.core``, ``repro.obs``, ...)
+   must carry a docstring and be mentioned in at least one of
+   README.md / docs/*.md.  Undocumented or unmentioned exports fail
+   the gate, so the reference docs cannot silently drift behind the
+   code.
 
 Usage::
 
-    python tools/check_docs.py            # both passes
+    python tools/check_docs.py            # all three passes
     python tools/check_docs.py --links    # links only
     python tools/check_docs.py --exec     # examples only
+    python tools/check_docs.py --api      # API-coverage gate only
 
-Exit status: 0 when clean, 1 on any broken link or failing example.
+Exit status: 0 when clean, 1 on any broken link, failing example, or
+API-coverage gap.
 """
 
 from __future__ import annotations
@@ -41,6 +49,8 @@ LINK_DOCS = [
     "README.md",
     "DESIGN.md",
     "EXPERIMENTS.md",
+    "docs/GUIDE.md",
+    "docs/PARALLEL.md",
     "docs/ARCHITECTURE.md",
     "docs/OBSERVABILITY.md",
     "docs/DIAGNOSTICS.md",
@@ -53,9 +63,25 @@ LINK_DOCS = [
 #: Documents whose ```python blocks are executed.
 EXEC_DOCS = [
     "README.md",
+    "docs/GUIDE.md",
+    "docs/PARALLEL.md",
     "docs/OBSERVABILITY.md",
     "docs/RESILIENCE.md",
     "docs/ANALYSIS.md",
+]
+
+#: Packages whose public API (``__all__``) the reference gate covers.
+API_PACKAGES = [
+    "repro",
+    "repro.core",
+    "repro.machine",
+    "repro.obs",
+    "repro.parallel",
+    "repro.resilience",
+    "repro.analysis",
+    "repro.mpi",
+    "repro.apps",
+    "repro.bench",
 ]
 
 _LINK_RE = re.compile(r"(?<!!)\[[^\]]+\]\(([^)\s]+)\)")
@@ -191,19 +217,100 @@ def run_examples(docs: list[str]) -> list[str]:
     return problems
 
 
+def _reference_corpus() -> str:
+    """The top-level guides plus every docs/*.md, for mention checks."""
+    parts = [
+        (REPO / name).read_text()
+        for name in ("README.md", "DESIGN.md", "EXPERIMENTS.md")
+    ]
+    for path in sorted((REPO / "docs").glob("*.md")):
+        parts.append(path.read_text())
+    return "\n".join(parts)
+
+
+def check_api(packages: list[str]) -> list[str]:
+    """Docstring + documentation-mention gate over public exports.
+
+    For each package in ``packages``, every name in its ``__all__``
+    must resolve to an object with a non-empty docstring, and the name
+    must appear (as a whole word) somewhere in README.md or docs/*.md.
+    """
+    import importlib
+    import inspect
+
+    sys.path.insert(0, str(REPO / "src"))
+    corpus = _reference_corpus()
+    mentioned_cache: dict[str, bool] = {}
+
+    def mentioned(name: str) -> bool:
+        if name not in mentioned_cache:
+            # A dotted reference (``repro.bench.run_sweep``) counts as
+            # a mention of the leaf name.
+            pattern = re.compile(rf"(?<!\w){re.escape(name)}(?!\w)")
+            mentioned_cache[name] = bool(pattern.search(corpus))
+        return mentioned_cache[name]
+
+    problems: list[str] = []
+    seen: set[int] = set()
+    for pkg_name in packages:
+        try:
+            pkg = importlib.import_module(pkg_name)
+        except Exception as exc:
+            problems.append(f"api: cannot import {pkg_name}: {exc!r}")
+            continue
+        exports = getattr(pkg, "__all__", None)
+        if exports is None:
+            problems.append(f"api: {pkg_name} has no __all__")
+            continue
+        for name in exports:
+            obj = getattr(pkg, name, None)
+            if obj is None:
+                problems.append(
+                    f"api: {pkg_name}.__all__ lists {name!r} but the "
+                    "attribute is missing"
+                )
+                continue
+            # A symbol re-exported at several levels is checked once.
+            key = id(obj)
+            if key in seen:
+                continue
+            seen.add(key)
+            doc = inspect.getdoc(obj)
+            if not (doc and doc.strip()):
+                # Data attributes (ints, dicts, ...) cannot carry their
+                # own docstring; the mention requirement still applies.
+                if callable(obj) or inspect.ismodule(obj):
+                    problems.append(
+                        f"api: {pkg_name}.{name} has no docstring"
+                    )
+            if not mentioned(name):
+                problems.append(
+                    f"api: {pkg_name}.{name} is not mentioned in "
+                    "README.md or any docs/*.md"
+                )
+    return problems
+
+
 def main(argv: list[str]) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--links", action="store_true", help="links only")
     parser.add_argument("--exec", action="store_true", help="examples only")
+    parser.add_argument(
+        "--api", action="store_true", help="API-coverage gate only"
+    )
     args = parser.parse_args(argv)
-    do_links = args.links or not args.exec
-    do_exec = args.exec or not args.links
+    explicit = args.links or args.exec or args.api
+    do_links = args.links or not explicit
+    do_exec = args.exec or not explicit
+    do_api = args.api or not explicit
 
     problems: list[str] = []
     if do_links:
         problems += check_links(LINK_DOCS)
     if do_exec:
         problems += run_examples(EXEC_DOCS)
+    if do_api:
+        problems += check_api(API_PACKAGES)
 
     for p in problems:
         print(p, file=sys.stderr)
@@ -213,6 +320,8 @@ def main(argv: list[str]) -> int:
             checked.append(f"links in {len(LINK_DOCS)} documents")
         if do_exec:
             checked.append(f"examples in {len(EXEC_DOCS)} documents")
+        if do_api:
+            checked.append(f"public API of {len(API_PACKAGES)} packages")
         print(f"docs OK ({'; '.join(checked)})")
     return 1 if problems else 0
 
