@@ -39,6 +39,13 @@ class KernelCertificate:
     whole: bool  # every phase of the kernel is certified
     certified: dict = field(default_factory=dict)  # yield lineno -> kind
     summary: object = None  # the KernelSummary behind the proof
+    #: Certified yield linenos whose proof leaned on rule R4 with rows
+    #: that may overlap across VPs (same-op accumulates combining
+    #: common elements).  The committed *value* is still certified, but
+    #: the floating-point combine order is the global rank order — so
+    #: these phases are excluded from worker-local (zero-merge)
+    #: commits, which would reorder the combination.
+    unordered: frozenset = frozenset()
 
     def covers(self, lineno: int, kind: str) -> bool:
         if self.whole:
@@ -63,6 +70,28 @@ class KernelCertificate:
             ):
                 return False
         return any_active
+
+    def round_zero_merge(self, vps, kind: str) -> bool:
+        """:meth:`round_certified`, strengthened for the zero-merge
+        commit: every active VP must also sit at a phase whose
+        certified writes are provably *disjoint* across VPs (no
+        R4-blessed overlapping accumulates), so a per-shard commit
+        applies each element's operations in the same order the global
+        rank-ordered commit would."""
+        if not self.round_certified(vps, kind):
+            return False
+        if not self.unordered:
+            return True
+        if self.whole:
+            # Plain-function certificates cannot match lines; any
+            # order-sensitive phase disables zero-merge for the kernel.
+            return False
+        for vp in vps:
+            if vp.done:
+                continue
+            if vp.gen.gi_frame.f_lineno in self.unordered:
+                return False
+        return True
 
 
 def _classify_arg(value) -> tuple[str, bool] | None:
@@ -208,6 +237,11 @@ def _build_certificate(inner, pargs, pkwargs, do_args, do_kwargs):
     certified = {
         ph.yield_lineno: ph.kind for ph in summary.phases if ph.certified
     }
+    unordered = frozenset(
+        ph.yield_lineno
+        for ph in summary.phases
+        if ph.certified and ph.acc_unordered
+    )
     if not yields:
         # Plain function: ``do`` wraps it in a single implicit phase
         # whose yield lives in the runtime wrapper, so line-level
@@ -217,12 +251,12 @@ def _build_certificate(inner, pargs, pkwargs, do_args, do_kwargs):
         )
         return KernelCertificate(
             name=fn_node.name, code=inner.__code__, whole=whole,
-            certified={}, summary=summary,
+            certified={}, summary=summary, unordered=unordered,
         )
     whole = bool(summary.phases) and all(ph.certified for ph in summary.phases)
     # Even a fully certified generator kernel keeps per-line checking:
     # the frame test is what ties the static proof to the running code.
     return KernelCertificate(
         name=fn_node.name, code=inner.__code__, whole=False,
-        certified=certified, summary=summary,
+        certified=certified, summary=summary, unordered=unordered,
     )

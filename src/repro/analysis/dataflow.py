@@ -1279,7 +1279,16 @@ def _check_segment(accs, phase: PhaseSummary, seg: int, path: str) -> list:
                 and a.op is not None
                 and a.op == b.op
             ):
-                continue  # rule R4: one commutative op combines freely
+                # Rule R4: one commutative op combines freely.  Still
+                # record whether the combined rows may overlap across
+                # VPs — the committed value is certified either way,
+                # but an overlapping combine is order-sensitive at the
+                # floating-point level, which the zero-merge committer
+                # must know (see PhaseSummary.acc_unordered).
+                if not _cross_vp_excluded(a, b, scope):
+                    if cross_vp_relation(a.iset, b.iset, scope) != "disjoint":
+                        phase.acc_unordered = True
+                continue
             if _cross_vp_excluded(a, b, scope):
                 continue
             rel = cross_vp_relation(a.iset, b.iset, scope)

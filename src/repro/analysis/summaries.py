@@ -646,6 +646,13 @@ class PhaseSummary:
     accesses: list = field(default_factory=list)
     certified: bool = False
     blockers: list = field(default_factory=list)  # Diagnostics
+    #: Certified via rule R4 with rows that may *overlap* across VPs:
+    #: same-operator accumulates combine freely (the committed value is
+    #: order-independent for the simulated semantics), but the
+    #: floating-point combination *order* is the global VP-rank order.
+    #: Consumers that re-order the commit (the zero-merge worker-side
+    #: committer) must treat such phases as uncommittable locally.
+    acc_unordered: bool = False
 
 
 @dataclass(frozen=True)

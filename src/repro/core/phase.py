@@ -108,6 +108,160 @@ def _flush_accumulate_run(target: np.ndarray, run: list[WriteEvent], op: str) ->
     ACCUMULATE_UFUNCS[op].at(target, rows, vals)
 
 
+class _RunPlan:
+    """Cached products of one maximal same-``(kind, op)`` batchable run
+    — everything :func:`_flush_write_run` / :func:`_flush_accumulate_run`
+    derive from the *index* side of the run, which iterative kernels
+    repeat bit-for-bit every round while only the values change."""
+
+    __slots__ = ("op", "sizes", "rows_last", "take", "rows")
+
+
+class _TargetPlan:
+    """Replay recipe for one target's full rank-ordered commit stream:
+    run segmentation plus one :class:`_RunPlan` per batchable run.
+
+    ``keys`` holds per-event ``(kind, op, RowSpec, rows_exact)``
+    tuples; the row specs are strong references, so validating an
+    incoming stream by ``is``-identity is exact — a spec object can
+    never be recycled while the plan holds it."""
+
+    __slots__ = ("keys", "segments")
+
+
+def _plan_matches(plan: _TargetPlan, evs: list[WriteEvent]) -> bool:
+    keys = plan.keys
+    if len(evs) != len(keys):
+        return False
+    for ev, (kind, op, rows, exact) in zip(evs, keys):
+        if (
+            ev.kind != kind
+            or ev.op != op
+            or ev.rows is not rows
+            or ev.rows_exact != exact
+        ):
+            return False
+    return True
+
+
+def _build_target_plan(evs: list[WriteEvent]) -> _TargetPlan:
+    """Segment one target's stream exactly as
+    :func:`_apply_target_stream` would, pre-computing each batchable
+    run's concatenated rows and (for writes) the lexsort products."""
+    plan = _TargetPlan()
+    plan.keys = [(ev.kind, ev.op, ev.rows, ev.rows_exact) for ev in evs]
+    segments: list[tuple] = []
+    n = len(evs)
+    i = 0
+    while i < n:
+        first = evs[i]
+        j = i + 1
+        batchable = first.rows_exact and first.rows.array is not None
+        while j < n and evs[j].kind == first.kind and evs[j].op == first.op:
+            ev = evs[j]
+            batchable = batchable and ev.rows_exact and ev.rows.array is not None
+            j += 1
+        if j - i == 1 or not batchable:
+            segments.append(("replay", i, j, None))
+        else:
+            run = _RunPlan()
+            run.op = first.op
+            parts = [ev.rows.materialize() for ev in evs[i:j]]
+            run.sizes = [r.size for r in parts]
+            rows = np.concatenate(parts)
+            if first.kind == "write":
+                order = np.lexsort((np.arange(rows.size), rows))
+                srows = rows[order]
+                last = np.ones(srows.size, dtype=bool)
+                last[:-1] = srows[1:] != srows[:-1]
+                run.rows_last = srows[last]
+                run.take = order[last]
+                run.rows = None
+            else:
+                run.rows = rows
+                run.rows_last = None
+                run.take = None
+            segments.append((first.kind, i, j, run))
+        i = j
+    plan.segments = segments
+    return plan
+
+
+def _apply_plan(target: np.ndarray, evs: list[WriteEvent], plan: _TargetPlan) -> None:
+    """Replay one target's stream through its cached plan — bitwise
+    what :func:`_apply_target_stream` computes, with the per-round work
+    reduced to value broadcasting and one fancy assignment (or
+    ``ufunc.at``) per run."""
+    trailing = target.shape[1:]
+    dtype = target.dtype
+    for kind, i, j, run in plan.segments:
+        if kind == "replay":
+            for ev in evs[i:j]:
+                ev.replay(target)
+        elif kind == "write":
+            try:
+                vals = np.concatenate([
+                    np.broadcast_to(
+                        np.asarray(ev.value, dtype=dtype), (sz,) + trailing
+                    )
+                    for ev, sz in zip(evs[i:j], run.sizes)
+                ])
+            except (ValueError, TypeError):
+                for ev in evs[i:j]:
+                    ev.replay(target)
+                continue
+            target[run.rows_last] = vals[run.take]
+        else:
+            try:
+                vals = np.concatenate([
+                    np.broadcast_to(np.asarray(ev.value), (sz,) + trailing)
+                    for ev, sz in zip(evs[i:j], run.sizes)
+                ])
+            except (ValueError, TypeError):
+                for ev in evs[i:j]:
+                    ev.replay(target)
+                continue
+            ACCUMULATE_UFUNCS[run.op].at(target, run.rows, vals)
+
+
+class CommitPlanCache:
+    """Cross-round cache of :class:`_TargetPlan` replay recipes.
+
+    The vectorized commit engine re-derives the same lexsorted index
+    buffers every round of an iterative solver; this cache keys each
+    target's compiled access pattern by ``(shared name, instance)``,
+    validates it against the incoming stream by row-spec identity, and
+    replays on a hit.  Used by the inline runtime
+    (``PpmRuntime.commit_plans``) and by the worker-side zero-merge
+    committer of the process backend; a mismatched round simply
+    rebuilds (counted in :attr:`misses`), so the cache can never change
+    committed bits — only skip redundant index work.
+    """
+
+    __slots__ = ("_plans", "hits", "misses")
+
+    def __init__(self) -> None:
+        self._plans: dict[tuple, _TargetPlan] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def apply(self, target: np.ndarray, evs: list[WriteEvent]) -> None:
+        """Apply one target's rank-ordered stream, via the cached plan
+        when it still matches."""
+        key = (evs[0].shared.name, evs[0].instance)
+        plan = self._plans.get(key)
+        if plan is not None and _plan_matches(plan, evs):
+            self.hits += 1
+        else:
+            plan = _build_target_plan(evs)
+            self._plans[key] = plan
+            self.misses += 1
+        _apply_plan(target, evs, plan)
+
+    def stats(self) -> tuple[int, int]:
+        return self.hits, self.misses
+
+
 def _apply_target_stream(target: np.ndarray, evs: list[WriteEvent]) -> None:
     """Apply one target's rank-ordered operation stream in maximal
     same-``(kind, op)`` runs.
@@ -317,7 +471,9 @@ class PhaseRecorder:
         return slot
 
     # ------------------------------------------------------------------
-    def apply_writes(self, *, engine: str = "vectorized") -> None:
+    def apply_writes(
+        self, *, engine: str = "vectorized", plans: CommitPlanCache | None = None
+    ) -> None:
         """Commit all buffered writes.
 
         Operations apply in increasing (global VP rank, program order),
@@ -326,7 +482,9 @@ class PhaseRecorder:
         rule of this reproduction.  ``engine`` selects the batched
         vectorized commit (default) or the legacy one-op-at-a-time
         replay (reference semantics; the property tests assert the two
-        are bitwise identical).
+        are bitwise identical).  ``plans`` optionally supplies a
+        :class:`CommitPlanCache` so iterative kernels pay index
+        compilation once per access pattern instead of every round.
         """
         if not self.write_ops:
             return
@@ -341,6 +499,8 @@ class PhaseRecorder:
             if engine == "legacy":
                 for ev in evs:
                     ev.replay(target)
+            elif plans is not None:
+                plans.apply(target, evs)
             else:
                 _apply_target_stream(target, evs)
 

@@ -68,6 +68,7 @@ class PpmProgram:
         resilience=None,
         executor: str = "inline",
         workers: int | None = None,
+        zero_merge: bool = True,
     ) -> None:
         if trace in (None, False):
             tracer = None
@@ -88,6 +89,7 @@ class PpmProgram:
             resilience=resilience,
             executor=executor,
             workers=workers,
+            zero_merge=zero_merge,
         )
         self.cluster = cluster
 
@@ -228,6 +230,7 @@ def run_ppm(
     resilience=None,
     executor: str = "inline",
     workers: int | None = None,
+    zero_merge: bool = True,
     **kwargs: object,
 ):
     """Run a PPM application.
@@ -294,12 +297,21 @@ def run_ppm(
         simulated times stay bitwise-identical; see docs/PARALLEL.md).
         Requires a picklable kernel and arguments
         (:class:`~repro.core.errors.ParallelConfigError` ``PPM501``)
-        and cannot combine with ``vp_executor="threads"``,
-        ``sanitize="auto"`` or the resilience subsystem (``PPM503``).
+        and cannot combine with ``vp_executor="threads"`` or the
+        resilience subsystem (``PPM503``).
     workers:
         Worker process count for ``executor="process"`` (default:
         :func:`repro.parallel.default_workers`, the CPU count clamped
         to [2, 8]).  Ignored under the inline executor.
+    zero_merge:
+        ``True`` (default): under ``executor="process"``, phase rounds
+        whose kernel carries a static conflict-freedom certificate
+        commit worker-side, in place, into the shared-memory segments
+        — the reply shrinks to a fixed-size digest and the parent
+        ships no operation stream at all.  ``False`` forces every
+        round through the record-shipping replay path (results are
+        bitwise-identical either way; see docs/PARALLEL.md).  Ignored
+        under the inline executor.
 
     With ``faults``, ``checkpoint_every`` and ``resilience`` all
     ``None`` (the default), this takes exactly the pre-resilience
@@ -320,6 +332,7 @@ def run_ppm(
             hot_path=hot_path,
             executor=executor,
             workers=workers,
+            zero_merge=zero_merge,
         )
         try:
             result = main(ppm, *args, **kwargs)

@@ -36,7 +36,7 @@ from repro.core.errors import (
     SharedAccessError,
     VpProgramError,
 )
-from repro.core.phase import PhaseRecorder
+from repro.core.phase import CommitPlanCache, PhaseRecorder
 from repro.core.scheduler import (
     PhaseTiming,
     compose_phase_timing,
@@ -124,6 +124,7 @@ class PpmRuntime:
         resilience=None,
         executor: str = "inline",
         workers: int | None = None,
+        zero_merge: bool = True,
     ) -> None:
         if vp_executor not in ("sequential", "threads"):
             raise ValueError(
@@ -153,28 +154,12 @@ class PpmRuntime:
                     "be combined with it",
                     code="PPM503",
                 )
-            if sanitize == "auto":
-                raise ParallelConfigError(
-                    "executor='process' cannot run sanitize='auto': "
-                    "certificate checks inspect suspended generator frames, "
-                    "which live in the workers — use sanitize='strict' or "
-                    "'warn' instead",
-                    code="PPM503",
-                )
             if resilience is not None:
                 raise ParallelConfigError(
                     "executor='process' cannot be combined with the "
                     "resilience subsystem (faults=, checkpoint_every= or "
                     "resilience=): recovery replays VP generators that "
                     "live in the workers",
-                    code="PPM503",
-                )
-            if cluster.config.certified_overlap_fraction is not None:
-                raise ParallelConfigError(
-                    "executor='process' cannot honour "
-                    "certified_overlap_fraction: overlap certificates are "
-                    "checked on suspended generator frames, which live in "
-                    "the workers",
                     code="PPM503",
                 )
         #: Execution backend selector: ``"inline"`` (default — phase
@@ -206,6 +191,22 @@ class PpmRuntime:
         self.hot_path = hot_path
         self.zero_copy_reads = hot_path == "fast"
         self.commit_engine = "vectorized" if hot_path == "fast" else "legacy"
+        #: Cross-round commit-plan cache: the vectorized engine
+        #: compiles each target's access pattern (lexsorted index
+        #: buffers, slice replays, ufunc.at argument tuples) once and
+        #: revalidates it by interned-spec identity every round; None
+        #: in legacy mode (one-op-at-a-time replay has no plans).
+        self.commit_plans = (
+            CommitPlanCache() if self.commit_engine == "vectorized" else None
+        )
+        #: Zero-merge commit switch (``executor="process"`` only):
+        #: rounds whose phases carry a conflict-freedom certificate
+        #: commit worker-side, straight into the shared-memory
+        #: segments, and reply with a fixed-size digest.  ``False``
+        #: forces every round through the record-shipping replay path —
+        #: the documented escape hatch, and what the equivalence tests
+        #: diff the zero-merge path against.
+        self.zero_merge = zero_merge
         #: Observability event bus (:class:`repro.obs.PhaseTrace`), or
         #: None.  Every instrumented site is gated on a single
         #: ``tracer is not None`` test, so the untraced default path
@@ -464,7 +465,11 @@ class PpmRuntime:
         # single-kernel do can be certified — per-node functions would
         # need one frame check per distinct kernel.
         self._active_cert = None
-        if self.sanitize_auto or self.config.certified_overlap_fraction is not None:
+        if (
+            self.sanitize_auto
+            or self.config.certified_overlap_fraction is not None
+            or self.executor == "process"
+        ):
             distinct = {id(f) for f in funcs if f is not None}
             if len(distinct) == 1 and funcs[0] is not None:
                 from repro.analysis.certify import certificate_for
@@ -790,10 +795,16 @@ class PpmRuntime:
         # A round is certified when every active VP sits at a yield the
         # static verifier proved conflict-free (checked on the suspended
         # frames *before* the bodies run, i.e. at this phase's decl).
-        certified = (
-            self._active_cert is not None
-            and self._active_cert.round_certified(body_vps, "global")
-        )
+        # Under the process backend the frames live in the workers, so
+        # the workers checked their own shards and the backend combined
+        # the votes when the round was dispatched.
+        if self._backend is not None:
+            certified = self._backend.round_certified(None)
+        else:
+            certified = (
+                self._active_cert is not None
+                and self._active_cert.round_certified(body_vps, "global")
+            )
         if tr is not None:
             tr.phase = phase_index
             tr.emit(
@@ -810,11 +821,17 @@ class PpmRuntime:
 
         # Commit: conflict check (strict mode aborts before any write
         # is visible), then writes in rank order, then collectives.
+        # Under the process backend a held round resolves first —
+        # zero-merge groups commit worker-side (write_ops stays empty
+        # and apply_writes below no-ops), fallback groups ship their
+        # operations into the recorder for the unchanged path.
+        if self._backend is not None:
+            self._backend.finish_commit(recorder, None)
         if self.sanitizer is not None and not (certified and self.sanitize_auto):
             self.sanitizer.check_phase(recorder, phase_index=phase_index)
         if certified:
             self.stats_certified_phases += 1
-        recorder.apply_writes(engine=self.commit_engine)
+        recorder.apply_writes(engine=self.commit_engine, plans=self.commit_plans)
         n_contrib = recorder.resolve_collectives()
         if self._backend is not None:
             # Ship resolved reduce/scan values back with the next round
@@ -995,10 +1012,13 @@ class PpmRuntime:
             "node", latency_rounds, tracer=tr, phase_index=phase_index
         )
         t0 = self.cluster.node(node_id).clock.now
-        certified = (
-            self._active_cert is not None
-            and self._active_cert.round_certified(node_vps, "node")
-        )
+        if self._backend is not None:
+            certified = self._backend.round_certified(node_id)
+        else:
+            certified = (
+                self._active_cert is not None
+                and self._active_cert.round_certified(node_vps, "node")
+            )
         if tr is not None:
             tr.phase = phase_index
             tr.emit(
@@ -1013,11 +1033,13 @@ class PpmRuntime:
             )
         self._execute_phase_bodies(recorder, node_vps)
 
+        if self._backend is not None:
+            self._backend.finish_commit(recorder, node_id)
         if self.sanitizer is not None and not (certified and self.sanitize_auto):
             self.sanitizer.check_phase(recorder, phase_index=phase_index)
         if certified:
             self.stats_certified_phases += 1
-        recorder.apply_writes(engine=self.commit_engine)
+        recorder.apply_writes(engine=self.commit_engine, plans=self.commit_plans)
         n_contrib = recorder.resolve_collectives()
         if self._backend is not None:
             self._backend.harvest_collectives(recorder, node_id)

@@ -43,6 +43,7 @@ from repro.obs.events import (
     RetryAttempt,
     VpScheduled,
     WorkerSpan,
+    ZeroMergeCommit,
     event_from_dict,
 )
 from repro.obs.export import (
@@ -59,6 +60,7 @@ from repro.obs.metrics import (
     ResilienceSummary,
     RunReport,
     WorkerUtilization,
+    ZeroMergeSummary,
 )
 
 __all__ = [
@@ -83,6 +85,8 @@ __all__ = [
     "VpScheduled",
     "WorkerSpan",
     "WorkerUtilization",
+    "ZeroMergeCommit",
+    "ZeroMergeSummary",
     "chrome_trace",
     "event_from_dict",
     "format_report",

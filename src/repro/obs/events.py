@@ -21,6 +21,7 @@ Event              Emitted from             One per
 `BarrierWait`      machine/network.py       phase-closing synchronisation
 `PhaseCommit`      core/runtime.py          phase, after its barrier
 `WorkerSpan`       parallel/backend.py      (phase round, worker process)
+`ZeroMergeCommit`  parallel/backend.py      phase group committed in place
 `FaultInjected`    resilience/manager.py    fault the injector fired
 `RetryAttempt`     resilience/retry.py      re-sent bundle flight
 `CheckpointTaken`  resilience/checkpoint.py coordinated checkpoint
@@ -231,6 +232,31 @@ class WorkerSpan(Event):
 
 
 @dataclass(frozen=True)
+class ZeroMergeCommit(Event):
+    """One phase group of a certified round committed worker-side
+    (the zero-merge path of the ``executor="process"`` backend): the
+    workers applied their shards' buffered operations directly into
+    the shared-memory segments and replied with fixed-size digests —
+    no operation stream crossed the pipe.
+
+    ``node`` is the committed group's node id (``-1`` for a global
+    phase); ``workers`` counts the workers that committed operations;
+    ``ops`` their total buffered operations; ``plan_hits`` /
+    ``plan_misses`` the commit-plan cache outcomes of this commit;
+    ``bytes_avoided`` an estimate of the reply bytes the shipped
+    operation stream would have cost."""
+
+    kind: ClassVar[str] = "zero_merge_commit"
+
+    node: int
+    workers: int
+    ops: int
+    plan_hits: int
+    plan_misses: int
+    bytes_avoided: int
+
+
+@dataclass(frozen=True)
 class FaultInjected(Event):
     """The fault injector fired one planned fault.
 
@@ -319,6 +345,7 @@ EVENT_TYPES: dict[str, type[Event]] = {
         BarrierWait,
         PhaseCommit,
         WorkerSpan,
+        ZeroMergeCommit,
         FaultInjected,
         RetryAttempt,
         CheckpointTaken,

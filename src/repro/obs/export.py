@@ -291,6 +291,16 @@ def format_report(report: RunReport) -> str:
             f"resilience overhead: "
             f"{100 * rs.overhead(report.elapsed):.1f}% of elapsed"
         )
+    zm = report.zero_merge
+    if zm is not None:
+        # Section appears only when rounds committed worker-side, so
+        # inline and record-shipping output stays byte-identical.
+        lines.append(
+            f"zero-merge commits: {zm.commits} ({zm.ops} ops in place)   "
+            f"plan cache: {zm.plan_hits} hits / {zm.plan_misses} misses "
+            f"({100 * zm.plan_hit_rate:.0f}%)   "
+            f"merge bytes avoided: {zm.bytes_avoided}"
+        )
     if report.workers is not None:
         # Section appears only for process-backend runs, so inline
         # report output stays byte-identical to earlier versions.
@@ -375,6 +385,21 @@ def report_to_dict(report: RunReport) -> dict:
                 }
             }
             if report.resilience is not None
+            else {}
+        ),
+        # Same pattern for the zero-merge commit summary.
+        **(
+            {
+                "zero_merge": {
+                    "commits": report.zero_merge.commits,
+                    "ops": report.zero_merge.ops,
+                    "plan_hits": report.zero_merge.plan_hits,
+                    "plan_misses": report.zero_merge.plan_misses,
+                    "plan_hit_rate": report.zero_merge.plan_hit_rate,
+                    "bytes_avoided": report.zero_merge.bytes_avoided,
+                }
+            }
+            if report.zero_merge is not None
             else {}
         ),
         # Same pattern for the process-backend worker table.

@@ -42,7 +42,37 @@ from repro.obs.events import (
     RetryAttempt,
     VpScheduled,
     WorkerSpan,
+    ZeroMergeCommit,
 )
+
+
+@dataclass(frozen=True)
+class ZeroMergeSummary:
+    """Run-level aggregates of the zero-merge commit path (present on
+    a :class:`RunReport` only when the trace carries
+    :class:`~repro.obs.events.ZeroMergeCommit` events, i.e. the run
+    used ``executor="process"`` with certified phases committing
+    worker-side).
+
+    * **commits** — phase groups committed in place by the workers.
+    * **ops** — buffered operations those commits applied.
+    * **plan_hits** / **plan_misses** — commit-plan cache outcomes
+      (a hit reuses pre-lexsorted index buffers; a miss recompiles).
+    * **bytes_avoided** — estimated reply bytes the shipped operation
+      streams would have cost.
+    """
+
+    commits: int
+    ops: int
+    plan_hits: int
+    plan_misses: int
+    bytes_avoided: int
+
+    @property
+    def plan_hit_rate(self) -> float:
+        """Plan-cache hits over all lookups (0.0 before any commit)."""
+        total = self.plan_hits + self.plan_misses
+        return self.plan_hits / total if total else 0.0
 
 
 @dataclass(frozen=True)
@@ -199,6 +229,10 @@ class RunReport:
     """Per-worker utilization of the ``executor="process"`` pool
     (aggregated :class:`~repro.obs.events.WorkerSpan` events); None for
     inline runs."""
+    zero_merge: ZeroMergeSummary | None = None
+    """Aggregates of the zero-merge commit path (aggregated
+    :class:`~repro.obs.events.ZeroMergeCommit` events); None when no
+    round committed worker-side."""
 
     # -- construction --------------------------------------------------
     @classmethod
@@ -225,6 +259,8 @@ class RunReport:
         }
         saw_resilience = False
         spans: list[WorkerSpan] = []
+        zm = {"commits": 0, "ops": 0, "plan_hits": 0, "plan_misses": 0,
+              "bytes_avoided": 0}
 
         def bucket(phase: int) -> dict:
             if phase not in acc:
@@ -285,6 +321,12 @@ class RunReport:
                 res["lost_work"] += ev.lost_work
             elif isinstance(ev, WorkerSpan):
                 spans.append(ev)
+            elif isinstance(ev, ZeroMergeCommit):
+                zm["commits"] += 1
+                zm["ops"] += ev.ops
+                zm["plan_hits"] += ev.plan_hits
+                zm["plan_misses"] += ev.plan_misses
+                zm["bytes_avoided"] += ev.bytes_avoided
 
         reports = []
         for phase in sorted(commits):
@@ -330,6 +372,7 @@ class RunReport:
             phases=tuple(reports),
             resilience=ResilienceSummary(**res) if saw_resilience else None,
             workers=_worker_table(spans) if spans else None,
+            zero_merge=ZeroMergeSummary(**zm) if zm["commits"] else None,
         )
 
     @classmethod

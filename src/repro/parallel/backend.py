@@ -26,12 +26,15 @@ from __future__ import annotations
 
 import os
 import pickle
+import zlib
+
+import numpy as np
 
 from repro.core.collectives import CollectiveSlot
 from repro.core.constructs import PhaseDecl
 from repro.core.errors import ParallelConfigError, PhaseUsageError
 from repro.core.shared import NodeShared, RowSpec, WriteEvent
-from repro.obs.events import WorkerSpan
+from repro.obs.events import WorkerSpan, ZeroMergeCommit
 from repro.parallel.pool import WorkerPool
 
 
@@ -40,6 +43,14 @@ def default_workers() -> int:
     count, clamped to [2, 8] (beyond 8, pipe traffic outweighs extra
     cores for typical phase bodies)."""
     return max(2, min(8, os.cpu_count() or 2))
+
+
+#: Zero-merge / plan-cache statistics of the most recently finished
+#: ``do`` of a process-backend run, published for the wall-clock bench
+#: (``--executor process`` reports plan-cache hit rate and merge bytes
+#: avoided from here).  Keys: ``zm_rounds``, ``zm_ops``,
+#: ``bytes_avoided``, ``plan_hits``, ``plan_misses``, ``rec_rounds``.
+LAST_RUN_STATS: dict = {}
 
 
 class ProcessBackend:
@@ -60,6 +71,27 @@ class ProcessBackend:
         self._coll_outbox: list = []
         self._global_reports = None
         self._node_reports = None
+        # Record-structure plan cache, parent half: per (worker, plan
+        # id) -> the encoded rec subset a later "rec_plan" reference
+        # resolves to.
+        self._rec_cache: list[dict] = []
+        # Zero-merge round state (reset by begin_round).
+        self._hold_ok = False
+        self._hold = False
+        self._round_flags: dict = {}
+        self._hold_wtargets: dict = {}
+        self._commit_replies: dict | None = None
+        # Digest verification: recompute each worker's committed-rows
+        # checksum parent-side (tests and CI set this; costs a gather
+        # per target per round, so it is opt-in).
+        self._verify = bool(os.environ.get("PPM_ZERO_MERGE_VERIFY"))
+        # Cumulative zero-merge statistics (published to LAST_RUN_STATS
+        # at each do boundary).
+        self.zm_rounds = 0
+        self.zm_ops = 0
+        self.zm_bytes_avoided = 0
+        self.plan_hits = 0
+        self.plan_misses = 0
 
     # ==================================================================
     # do lifecycle
@@ -101,7 +133,22 @@ class ProcessBackend:
             "counts": list(counts),
             "default_decl": (default_decl.kind, default_decl.latency_rounds),
             "shared": shared_specs,
+            # Workers rebuild the kernel certificate from their own
+            # unpickled copy (the analysis is a pure function of source
+            # + argument classification): the parent cannot check
+            # suspended frames that live in the workers.
+            "certify": rt._active_cert is not None,
         }
+        # A round may hold its operations worker-side (zero-merge
+        # commit) only when a certificate exists and the commit
+        # pipeline has no stage that must see the operation stream
+        # parent-side before writes apply.
+        self._hold_ok = (
+            rt._active_cert is not None
+            and rt.zero_merge
+            and (rt.sanitizer is None or rt.sanitize_auto)
+            and rt.commit_engine == "vectorized"
+        )
         total = sum(counts)
         w = self.n_workers
         payloads = [
@@ -123,6 +170,10 @@ class ProcessBackend:
         self._coll_outbox = []
         self._global_reports = None
         self._node_reports = None
+        self._rec_cache = [{} for _ in range(w)]
+        self._round_flags = {}
+        self._hold_wtargets = {}
+        self._commit_replies = None
         self._pool.roundtrip("do_start", None, per_worker=payloads)
 
     def run_prologue(self, vps_by_node) -> None:
@@ -141,6 +192,15 @@ class ProcessBackend:
         self._global_reports = None
         self._node_reports = None
         self._coll_outbox = []
+        self._commit_replies = None
+        LAST_RUN_STATS.clear()
+        LAST_RUN_STATS.update(
+            zm_rounds=self.zm_rounds,
+            zm_ops=self.zm_ops,
+            bytes_avoided=self.zm_bytes_avoided,
+            plan_hits=self.plan_hits,
+            plan_misses=self.plan_misses,
+        )
 
     def close(self) -> None:
         self._pool.close()
@@ -164,13 +224,23 @@ class ProcessBackend:
                 for vp in body_vps
                 if not vp.done
             }
+        hold = self._hold_ok
         cmd = {
             "kind": kind,
             "nodes": list(nodes),
             "coll_results": self._coll_outbox,
             "remaps": rt.shm.drain_remaps(),
             "core_map": core_map,
+            # Speculative hold: certification flags only arrive with
+            # the replies, so an eligible round always holds; rounds
+            # that turn out uncertified fall back to shipping their
+            # operations with the commit command.
+            "mode": "hold" if hold else "ship",
         }
+        self._hold = hold
+        self._round_flags = {}
+        self._hold_wtargets = {}
+        self._commit_replies = None
         self._coll_outbox = []
         replies = self._pool.roundtrip("round", cmd)
         # Merge snapshot-view flags before any commit of this round so
@@ -185,6 +255,7 @@ class ProcessBackend:
                     sv._views_taken = True
                 else:
                     sv._views_taken[instance] = True
+        flag_lists: dict = {}
         if kind == "global":
             self._global_reports = [
                 (w, rep["report"])
@@ -192,15 +263,35 @@ class ProcessBackend:
                 if rep is not None
             ]
             self._node_reports = None
+            flag_lists[None] = [
+                rep["flags"] for rep in replies if rep is not None
+            ]
+            if hold:
+                self._gather_wtargets(
+                    None, (rep["report"] for rep in replies if rep is not None)
+                )
         else:
             node_map: dict[int, list] = {}
             for w, rep in enumerate(replies):
                 if rep is None:
                     continue
-                for node_id, report in rep["nodes"]:
+                for node_id, report, flags in rep["nodes"]:
                     node_map.setdefault(node_id, []).append((w, report))
+                    flag_lists.setdefault(node_id, []).append(flags)
+                    if hold:
+                        self._gather_wtargets(node_id, (report,))
             self._node_reports = node_map
             self._global_reports = None
+        # Combine each group's per-worker flags: a worker with no
+        # active VPs in the group reports (None, None) and abstains;
+        # everyone else must agree for the round to count as certified
+        # (resp. zero-merge eligible).
+        for node_key, flags in flag_lists.items():
+            voted = [f for f in flags if f[0] is not None]
+            self._round_flags[node_key] = (
+                bool(voted) and all(c for c, _z in voted),
+                bool(voted) and all(z for _c, z in voted),
+            )
         tr = rt.tracer
         if tr is not None:
             phase_index = rt.stats_global_phases + rt.stats_node_phases
@@ -251,6 +342,143 @@ class ProcessBackend:
                 inner[core] = inner.get(core, 0.0) + cost
             vp.last_cost = cost
             self._apply_state(vp, done, decl)
+
+    def _gather_wtargets(self, node_key, reports) -> None:
+        acc = self._hold_wtargets.setdefault(node_key, set())
+        for report in reports:
+            acc.update(report.get("wtargets", ()))
+
+    def round_certified(self, node_key) -> bool:
+        """Did every worker with active VPs in this group sit at a
+        certified yield when the round began?  (The parent cannot
+        inspect the suspended frames itself — they live in the
+        workers.)"""
+        return self._round_flags.get(node_key, (False, False))[0]
+
+    def finish_commit(self, recorder, node_key) -> None:
+        """Resolve a held round's commit for ``node_key``.
+
+        No-op for ship-mode rounds (operations already arrived with the
+        round replies).  For a held round, the *first* call runs the
+        single commit round-trip covering every group of the round:
+        zero-merge-eligible groups commit worker-side (their reply is a
+        fixed-size digest and ``recorder.write_ops`` stays empty);
+        ineligible groups fall back to shipping their operation stream
+        here, absorbed into the recorder exactly as a ship-mode round
+        would have — the sanitizer and the parent's ordinary
+        rank-ordered commit then run unchanged.
+
+        Node phases of one round are committed together: their targets
+        are disjoint by construction (node phases write only their own
+        node's instances), and the paper leaves cross-node commit order
+        within an asynchronous round unspecified.
+        """
+        if not self._hold:
+            return
+        if self._commit_replies is None:
+            self._run_commit_round()
+        rt = self.rt
+        registry = rt.shared_registry
+        tr = rt.tracer
+        total_ops = 0
+        total_bytes = 0
+        total_hits = 0
+        total_misses = 0
+        workers = 0
+        for w, d in self._commit_replies.pop(node_key, []):
+            ops = d.get("ops")
+            if ops is not None:
+                recorder.absorb_ops(
+                    WriteEvent(
+                        registry[name], instance, op_kind, op,
+                        self._idx(w, idx_enc), value, self._spec(w, spec_enc),
+                        rank, rows_exact,
+                    )
+                    for name, instance, op_kind, op, idx_enc, value,
+                        spec_enc, rank, rows_exact in ops
+                )
+                continue
+            n = d.get("ops_n", 0)
+            if not n:
+                continue
+            workers += 1
+            total_ops += n
+            total_bytes += d.get("bytes_avoided", 0)
+            total_hits += d.get("plan_hits", 0)
+            total_misses += d.get("plan_misses", 0)
+            if self._verify:
+                self._verify_digest(w, d)
+        if total_ops:
+            self.zm_rounds += 1
+            self.zm_ops += total_ops
+            self.zm_bytes_avoided += total_bytes
+            self.plan_hits += total_hits
+            self.plan_misses += total_misses
+            if tr is not None:
+                tr.emit(
+                    ZeroMergeCommit(
+                        phase=rt.stats_global_phases + rt.stats_node_phases,
+                        node=-1 if node_key is None else node_key,
+                        workers=workers,
+                        ops=total_ops,
+                        plan_hits=total_hits,
+                        plan_misses=total_misses,
+                        bytes_avoided=total_bytes,
+                    )
+                )
+
+    def _run_commit_round(self) -> None:
+        """The round's single commit round-trip, covering every held
+        group: decide local-vs-ship per group, pre-swap aliased targets
+        of locally-committed groups (copy-on-commit must happen
+        *before* any worker writes), and ship the resulting remaps with
+        the decisions."""
+        rt = self.rt
+        registry = rt.shared_registry
+        groups = []
+        for node_key, (_certified, zero_merge) in sorted(
+            self._round_flags.items(),
+            key=lambda kv: -1 if kv[0] is None else kv[0],
+        ):
+            decision = "local" if zero_merge else "ship"
+            if decision == "local":
+                for name, instance in sorted(
+                    self._hold_wtargets.get(node_key, ()),
+                    key=lambda t: (t[0], -1 if t[1] is None else t[1]),
+                ):
+                    registry[name]._commit_target(instance)
+            groups.append((node_key, decision))
+        cmd = {
+            "remaps": rt.shm.drain_remaps(),
+            "groups": groups,
+            "verify": self._verify,
+        }
+        replies = self._pool.roundtrip("commit", cmd)
+        merged: dict = {}
+        for w, rep in enumerate(replies):
+            if rep is None:
+                continue
+            for node_key, d in rep["groups"]:
+                merged.setdefault(node_key, []).append((w, d))
+        self._commit_replies = merged
+
+    def _verify_digest(self, w: int, digest: dict) -> None:
+        registry = self.rt.shared_registry
+        for name, instance, crc, rows_enc in digest.get("checksums", ()):
+            if rows_enc is None:
+                continue
+            rows = self._array(w, rows_enc)
+            sv = registry[name]
+            target = sv._data if instance is None else sv._data[instance]
+            here = zlib.crc32(np.ascontiguousarray(target[rows]).tobytes())
+            if here != crc:
+                raise RuntimeError(
+                    f"zero-merge digest mismatch on {name!r}"
+                    f"{'' if instance is None else f'[{instance}]'}: "
+                    f"worker {w} committed crc32={crc:#010x}, parent "
+                    f"reads {here:#010x} over the same rows — the "
+                    "conflict-freedom certificate did not hold"
+                )
 
     def harvest_collectives(self, recorder, node_key) -> None:
         """Queue the round's resolved collective results for broadcast
@@ -326,29 +554,49 @@ class ProcessBackend:
 
     def _merge_report(self, recorder, w: int, rep: dict, by_rank: dict) -> None:
         registry = self.rt.shared_registry
+        # Resolve the record structure: an exact cross-round repeat
+        # arrives as a plan reference instead of the full payload.
+        pid = rep.get("rec_plan")
+        if pid is not None:
+            recs = self._rec_cache[w][pid]
+        else:
+            recs = rep
+            pid = rep.get("rec_new")
+            if pid is not None:
+                self._rec_cache[w][pid] = {
+                    k: rep[k] for k in ("greads", "gwrites", "nwe", "nro", "nre")
+                }
+        # Decode the operation stream *first*: the worker encodes ops
+        # before the read/write records, so an index array's first
+        # mention (the ``("n", iid, arr)`` form later records reference
+        # by id) can live only there.  Held rounds have no ops here —
+        # they ship theirs with the commit reply, which the worker also
+        # encodes last.
+        ops = rep.get("ops")
+        if ops is not None:
+            recorder.absorb_ops(
+                WriteEvent(
+                    registry[name], instance, op_kind, op,
+                    self._idx(w, idx_enc), value, self._spec(w, spec_enc),
+                    rank, rows_exact,
+                )
+                for name, instance, op_kind, op, idx_enc, value, spec_enc,
+                    rank, rows_exact in ops
+            )
         recorder.absorb_global_reads(
             (node_id, registry[name],
              [self._spec(w, e) for e in specs], n_elem)
-            for node_id, name, specs, n_elem in rep["greads"]
+            for node_id, name, specs, n_elem in recs["greads"]
         )
         recorder.absorb_global_writes(
             (node_id, registry[name],
              [self._spec(w, e) for e in specs], n_elem)
-            for node_id, name, specs, n_elem in rep["gwrites"]
+            for node_id, name, specs, n_elem in recs["gwrites"]
         )
-        recorder.absorb_ops(
-            WriteEvent(
-                registry[name], instance, op_kind, op,
-                self._idx(w, idx_enc), value, self._spec(w, spec_enc),
-                rank, rows_exact,
-            )
-            for name, instance, op_kind, op, idx_enc, value, spec_enc,
-                rank, rows_exact in rep["ops"]
-        )
-        for node_id, n_elem in rep["nwe"].items():
+        for node_id, n_elem in recs["nwe"].items():
             recorder.node_write_elems[node_id] += n_elem
-        recorder.node_read_ops += rep["nro"]
-        recorder.node_read_elems += rep["nre"]
+        recorder.node_read_ops += recs["nro"]
+        recorder.node_read_elems += recs["nre"]
         slots = recorder.collective_slots
         for i, kind, op, entries in rep["colls"]:
             while len(slots) <= i:

@@ -75,6 +75,27 @@ def _sweep_pinned() -> None:
     _PINNED[:] = still
 
 
+def _unlink_once(segment: shared_memory.SharedMemory) -> None:
+    """Unlink ``segment`` exactly once, no matter how many release
+    paths reach it.
+
+    ``SharedMemory.unlink()`` deregisters from the multiprocessing
+    resource tracker only *after* ``shm_unlink`` succeeds — a second
+    call raises ``FileNotFoundError`` first and skips the
+    deregistration, and on interpreter shutdown the ``weakref.finalize``
+    backstop can race an explicit ``close()`` onto the same segments,
+    which used to surface as a spurious leaked-``/dev/shm`` warning
+    from the tracker.  A per-segment guard flag makes every release
+    path idempotent at the segment level."""
+    if getattr(segment, "_ppm_unlinked", False):
+        return
+    segment._ppm_unlinked = True
+    try:
+        segment.unlink()
+    except (FileNotFoundError, OSError):  # pragma: no cover - gone already
+        pass
+
+
 class ShmRegistry:
     """Parent-side owner of every segment of one PPM program."""
 
@@ -140,7 +161,7 @@ class ShmRegistry:
     def _retire(self, block: _Block) -> None:
         block.array = None
         segment = block.segment
-        segment.unlink()
+        _unlink_once(segment)
         self._graveyard.append(segment)
         self.sweep()
 
@@ -164,13 +185,9 @@ class ShmRegistry:
         if self._closed:
             return
         self._closed = True
-        self._finalizer.detach()
         for block in self._blocks.values():
             block.array = None
-            try:
-                block.segment.unlink()
-            except FileNotFoundError:  # pragma: no cover - already gone
-                pass
+            _unlink_once(block.segment)
             self._graveyard.append(block.segment)
         self._blocks.clear()
         self.sweep()
@@ -179,14 +196,15 @@ class ShmRegistry:
         _PINNED.extend(self._graveyard)
         self._graveyard.clear()
         _sweep_pinned()
+        # Detach last: if close() is interrupted mid-unlink, the
+        # finalize backstop still covers whatever remains (every path
+        # is per-segment idempotent, so overlap is harmless).
+        self._finalizer.detach()
 
     @staticmethod
     def _unlink_all(blocks, graveyard) -> None:
         for block in blocks.values():
-            try:
-                block.segment.unlink()
-            except (FileNotFoundError, OSError):  # pragma: no cover
-                pass
+            _unlink_once(block.segment)
             graveyard.append(block.segment)
         blocks.clear()
         for segment in graveyard:

@@ -11,10 +11,14 @@ to the edges:
 * shared-variable *committed stores* are not private arrays but
   :mod:`multiprocessing.shared_memory` segments mapped by name
   (zero-copy snapshots; see :class:`repro.parallel.shm.ShmRegistry`);
-* each round's recordings are not committed locally but *encoded* into
-  a compact report the parent merges and commits through its unchanged
-  pipeline — index arrays are interned per worker so a spec shipped
-  once is later referenced by id;
+* each round's recordings are either *encoded* into a compact report
+  the parent merges and commits through its unchanged pipeline (ship
+  mode — index arrays are interned per worker so a spec shipped once
+  is later referenced by id, and a repeated record *structure* ships
+  as a plan id), or — when the round carries a static disjointness
+  certificate — *held* worker-side and committed directly into the
+  shared segments on the parent's ``commit`` command, replying with a
+  fixed-size digest instead of the operation stream (zero-merge mode);
 * collective handles held by VP code resolve from the parent's
   round-commit results, shipped with the next round command.
 
@@ -24,15 +28,17 @@ protocol; :func:`worker_main` is the process entry point.
 
 from __future__ import annotations
 
+import os
 import pickle
 import time
 import traceback
+import zlib
 
 import numpy as np
 
 from repro.core import shared as shared_mod
 from repro.core.constructs import PhaseDecl
-from repro.core.phase import PhaseRecorder
+from repro.core.phase import CommitPlanCache, PhaseRecorder, _RANK_KEY
 from repro.core.shared import GlobalShared, NodeShared
 from repro.core.vp import VpContext, core_of
 from repro.machine.cluster import Cluster
@@ -148,6 +154,32 @@ class _WorkerDo:
         # node_key (None = global) -> unresolved collective slots of the
         # previous round, awaiting the parent's commit results.
         self.pending: dict = {}
+        # Certificate handoff: rebuild the parent's static proof from
+        # this worker's unpickled kernel — the analysis is a pure
+        # function of the source and the argument classification, so
+        # worker and parent derive the same certificate independently
+        # (no frames or code objects cross the pipe).
+        self.cert = None
+        if common.get("certify"):
+            distinct = {id(f) for f in funcs if f is not None}
+            if len(distinct) == 1 and funcs[0] is not None:
+                from repro.analysis.certify import certificate_for
+
+                self.cert = certificate_for(funcs[0], args, kwargs)
+        # Zero-merge state: recorders held between the exec round and
+        # the parent's commit decision, the cross-round commit-plan
+        # cache, and the cached per-target committed-row footprints
+        # (valid while the target's _TargetPlan is unchanged).
+        self.held: dict = {}
+        self.commit_plans = CommitPlanCache()
+        self._footprints: dict = {}
+        # Record-structure plan cache: a round whose encoded rec
+        # structure (reads/writes/spec refs/counts) is an exact repeat
+        # ships a plan id instead of the payload.
+        self._rec_plans: dict = {}
+        self._rec_next = 0
+        self.rec_hits = 0
+        self.rec_misses = 0
 
     def _rebind(self, sv, instance, segment_name: str) -> None:
         """Point one proxy instance at its mapped segment."""
@@ -206,21 +238,35 @@ class _WorkerDo:
                 core = core_map.get(vp.ctx.global_rank)
                 if core is not None:
                     vp.ctx.core_id = core
-        # 4. Run this round's phase bodies for my shard.
+        # 4. Run this round's phase bodies for my shard.  In "hold"
+        # mode the buffered operations stay worker-side, awaiting the
+        # parent's commit decision; certification flags are read off
+        # the suspended frames *before* the bodies run, exactly when
+        # the inline engine checks them.
         kind = cmd["kind"]
+        hold = cmd.get("mode") == "hold"
         nodes = [n for n in cmd["nodes"] if n in self.by_node]
         advanced = 0
         if kind == "global":
             body_vps = [vp for n in nodes for vp in self.by_node[n]]
             advanced += sum(1 for vp in body_vps if not vp.done)
-            payload = {"report": self._run_recorder(kind, body_vps, None)}
+            flags = self._round_flags(body_vps, kind)
+            payload = {
+                "report": self._run_recorder(kind, body_vps, None, hold),
+                "flags": flags,
+            }
         else:
             reports = []
             for node_id in nodes:
                 node_vps = self.by_node[node_id]
                 advanced += sum(1 for vp in node_vps if not vp.done)
+                flags = self._round_flags(node_vps, kind)
                 reports.append(
-                    (node_id, self._run_recorder(kind, node_vps, node_id))
+                    (
+                        node_id,
+                        self._run_recorder(kind, node_vps, node_id, hold),
+                        flags,
+                    )
                 )
             payload = {"nodes": reports}
         # 5. Snapshot-view flags, collected once per round (within a
@@ -243,8 +289,25 @@ class _WorkerDo:
         payload["host_s"] = time.perf_counter() - t0
         return payload
 
-    def _run_recorder(self, kind: str, vps: list, node_key) -> dict:
-        """Advance the listed VPs under a fresh recorder; encode it."""
+    def _round_flags(self, vps: list, kind: str):
+        """(certified, zero_merge) for my shard's VPs, read off the
+        suspended frames before the bodies run.  ``(None, None)`` when
+        no VP of the group is active in my shard (the parent skips such
+        workers when combining)."""
+        if not any(not vp.done for vp in vps):
+            return (None, None)
+        cert = self.cert
+        if cert is None:
+            return (False, False)
+        return (
+            cert.round_certified(vps, kind),
+            cert.round_zero_merge(vps, kind),
+        )
+
+    def _run_recorder(self, kind: str, vps: list, node_key, hold: bool = False) -> dict:
+        """Advance the listed VPs under a fresh recorder; encode it.
+        Under ``hold`` the recorder is retained for the parent's commit
+        command and the encoded report omits the operation stream."""
         rt = self.rt
         recorder = PhaseRecorder(kind)
         rt.phase = recorder
@@ -262,43 +325,195 @@ class _WorkerDo:
         finally:
             rt.phase = None
         self.pending[node_key] = recorder.collective_slots
-        return self._encode(recorder, vp_states)
+        if hold:
+            self.held[node_key] = recorder
+        return self._encode(recorder, vp_states, include_ops=not hold)
 
-    def _encode(self, recorder: PhaseRecorder, vp_states: list) -> dict:
+    def _encode_ops(self, ops: list) -> list:
         enc = self.enc
-        return {
+        return [
+            (
+                ev.shared.name,
+                ev.instance,
+                ev.kind,
+                ev.op,
+                enc.idx(ev.idx),
+                ev.value,
+                enc.spec(ev.rows),
+                ev.rank,
+                ev.rows_exact,
+            )
+            for ev in ops
+        ]
+
+    def _encode(
+        self, recorder: PhaseRecorder, vp_states: list, include_ops: bool = True
+    ) -> dict:
+        enc = self.enc
+        payload = {
             "vps": vp_states,
-            "greads": [
-                (node_id, sv.name, [enc.spec(s) for s in specs], n_elem)
-                for (node_id, sv), (specs, n_elem) in recorder.global_read_recs.items()
-            ],
-            "gwrites": [
-                (node_id, sv.name, [enc.spec(s) for s in specs], n_elem)
-                for (node_id, sv), (specs, n_elem) in recorder.global_write_recs.items()
-            ],
-            "ops": [
-                (
-                    ev.shared.name,
-                    ev.instance,
-                    ev.kind,
-                    ev.op,
-                    enc.idx(ev.idx),
-                    ev.value,
-                    enc.spec(ev.rows),
-                    ev.rank,
-                    ev.rows_exact,
-                )
-                for ev in recorder.write_ops
-            ],
-            "nwe": dict(recorder.node_write_elems),
-            "nro": recorder.node_read_ops,
-            "nre": recorder.node_read_elems,
             "colls": [
                 (i, slot.kind, slot.op, [(r, v) for r, v, _h in slot.entries])
                 for i, slot in enumerate(recorder.collective_slots)
                 if slot.entries
             ],
         }
+        if include_ops:
+            payload["ops"] = self._encode_ops(recorder.write_ops)
+        else:
+            # Hold mode: the parent pre-swaps the written targets
+            # before the commit command, so it needs the target list
+            # (not the operations) up front.
+            payload["wtargets"] = sorted(
+                {(ev.shared.name, ev.instance) for ev in recorder.write_ops},
+                key=lambda t: (t[0], -1 if t[1] is None else t[1]),
+            )
+        greads = [
+            (node_id, sv.name, [enc.spec(s) for s in specs], n_elem)
+            for (node_id, sv), (specs, n_elem) in recorder.global_read_recs.items()
+        ]
+        gwrites = [
+            (node_id, sv.name, [enc.spec(s) for s in specs], n_elem)
+            for (node_id, sv), (specs, n_elem) in recorder.global_write_recs.items()
+        ]
+        recs = {
+            "greads": greads,
+            "gwrites": gwrites,
+            "nwe": dict(recorder.node_write_elems),
+            "nro": recorder.node_read_ops,
+            "nre": recorder.node_read_elems,
+        }
+        # Record-structure plan cache: once every spec in the encoding
+        # is an interned reference, the structure is hashable and an
+        # exact repeat ships as a plan id.  (A first mention carries a
+        # raw ndarray and falls out via TypeError — shipped in full,
+        # cacheable from the next round on.)
+        pid = None
+        key = None
+        try:
+            key = (
+                tuple(
+                    (nid, name, tuple(specs), ne)
+                    for nid, name, specs, ne in greads
+                ),
+                tuple(
+                    (nid, name, tuple(specs), ne)
+                    for nid, name, specs, ne in gwrites
+                ),
+                tuple(sorted(recs["nwe"].items())),
+                recs["nro"],
+                recs["nre"],
+            )
+            pid = self._rec_plans.get(key)
+        except TypeError:
+            key = None
+        if pid is not None:
+            payload["rec_plan"] = pid
+            self.rec_hits += 1
+        else:
+            if key is not None:
+                pid = self._rec_next
+                self._rec_next += 1
+                self._rec_plans[key] = pid
+                payload["rec_new"] = pid
+            self.rec_misses += 1
+            payload.update(recs)
+        return payload
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _ops_bytes(ops: list) -> int:
+        """Estimate of the pipe bytes a shipped encoding of ``ops``
+        would have cost (value buffers + index arrays + per-op tuple
+        overhead) — the "merge bytes avoided" statistic of a zero-merge
+        commit."""
+        total = 0
+        for ev in ops:
+            v = ev.value
+            total += v.nbytes if isinstance(v, np.ndarray) else 8
+            if isinstance(ev.idx, np.ndarray):
+                total += ev.idx.nbytes
+            elif ev.rows.array is not None:
+                total += ev.rows.array.nbytes
+            total += 64
+        return total
+
+    def commit(self, cmd: dict) -> dict:
+        """Parent's commit command for the preceding hold-mode round.
+
+        The parent has already pre-swapped every aliased target
+        (copy-on-commit) and ships the remaps here; after rebinding,
+        a ``"local"`` decision commits the held recorder straight into
+        the mapped segments and replies with a fixed-size digest, a
+        ``"ship"`` decision falls back to encoding the operation stream
+        for the parent's ordinary merge-and-commit path."""
+        for name, instance, segment_name in cmd["remaps"]:
+            self._rebind(self.proxies[name], instance, segment_name)
+        verify = cmd.get("verify", False)
+        replies = []
+        for node_key, decision in cmd["groups"]:
+            recorder = self.held.pop(node_key, None)
+            if recorder is None:
+                replies.append((node_key, {"ops_n": 0}))
+            elif decision == "ship":
+                replies.append(
+                    (node_key, {"ops": self._encode_ops(recorder.write_ops)})
+                )
+            else:
+                replies.append((node_key, self._commit_local(recorder, verify)))
+        return {"groups": replies}
+
+    def _commit_local(self, recorder: PhaseRecorder, verify: bool) -> dict:
+        """Commit my shard's held operations in place.
+
+        The round carried a zero-merge certificate, so across VPs the
+        written rows are disjoint: each element of a target is only
+        ever touched by one worker, and applying that worker's ops in
+        its own (rank, seq) order — through the very same plan/stream
+        code the parent's commit uses — produces bitwise-identical
+        stores to the global rank-ordered parent commit."""
+        plans = self.commit_plans
+        h0, m0 = plans.hits, plans.misses
+        ops = sorted(recorder.write_ops, key=_RANK_KEY)
+        groups: dict = {}
+        for ev in ops:
+            groups.setdefault((id(ev.shared), ev.instance), []).append(ev)
+        checksums = []
+        for evs in groups.values():
+            sv = evs[0].shared
+            instance = evs[0].instance
+            # The parent already ran copy-on-commit and shipped the
+            # remaps with this command; the proxy's store *is* the
+            # commit target (never sv._commit_target, which would
+            # detach the proxy from the segment).
+            target = sv._data if instance is None else sv._data[instance]
+            plans.apply(target, evs)
+            key = (sv.name, instance)
+            rows = self._footprint(key, evs)
+            crc = zlib.crc32(np.ascontiguousarray(target[rows]).tobytes())
+            checksums.append(
+                (sv.name, instance, crc, self.enc.array(rows) if verify else None)
+            )
+        return {
+            "ops_n": len(ops),
+            "bytes_avoided": self._ops_bytes(ops),
+            "plan_hits": plans.hits - h0,
+            "plan_misses": plans.misses - m0,
+            "checksums": checksums,
+        }
+
+    def _footprint(self, key, evs: list) -> np.ndarray:
+        """Sorted unique rows my shard committed to this target,
+        cached across rounds while the target's commit plan (and hence
+        the access pattern) is unchanged."""
+        plan = self.commit_plans._plans.get(key)
+        cached = self._footprints.get(key)
+        if cached is not None and plan is not None and cached[0] is plan:
+            return cached[1]
+        rows = np.unique(np.concatenate([ev.rows.materialize() for ev in evs]))
+        if plan is not None:
+            self._footprints[key] = (plan, rows)
+        return rows
 
 
 class _WorkerState:
@@ -321,6 +536,8 @@ class _WorkerState:
             return self.do.prologue()
         if tag == "round":
             return self.do.round(payload)
+        if tag == "commit":
+            return self.do.commit(payload)
         if tag == "do_end":
             self.do = None
             self.cache.clear()
@@ -330,7 +547,41 @@ class _WorkerState:
 
 def worker_main(conn, worker_id: int) -> None:
     """Entry point of one worker process: serve commands until
-    ``shutdown`` or a closed pipe."""
+    ``shutdown`` or a closed pipe.
+
+    When ``PPM_PROFILE_DIR`` names a directory (the bench harness's
+    ``--profile`` flag sets it), the whole command loop runs under
+    :mod:`cProfile` and the top-20 cumulative-time entries are written
+    to ``worker-<pid>.prof.txt`` there on exit."""
+    profile_dir = os.environ.get("PPM_PROFILE_DIR")
+    if profile_dir:
+        import cProfile
+
+        prof = cProfile.Profile()
+        prof.enable()
+        try:
+            _worker_loop(conn, worker_id)
+        finally:
+            prof.disable()
+            try:
+                import io
+                import pstats
+
+                buf = io.StringIO()
+                stats = pstats.Stats(prof, stream=buf)
+                stats.sort_stats("cumulative").print_stats(20)
+                path = os.path.join(
+                    profile_dir, f"worker-{os.getpid()}.prof.txt"
+                )
+                with open(path, "w") as fh:
+                    fh.write(buf.getvalue())
+            except OSError:  # pragma: no cover - profile dir vanished
+                pass
+    else:
+        _worker_loop(conn, worker_id)
+
+
+def _worker_loop(conn, worker_id: int) -> None:
     state = _WorkerState(worker_id)
     while True:
         try:

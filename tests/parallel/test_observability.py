@@ -1,6 +1,7 @@
 """Tracing under the process backend: the event stream must equal the
-inline stream exactly, plus interleaved ``WorkerSpan`` events that the
-``RunReport`` worker-utilization table aggregates.
+inline stream exactly, plus interleaved ``WorkerSpan`` and
+``ZeroMergeCommit`` events that the ``RunReport`` worker-utilization
+table and zero-merge summary aggregate.
 """
 
 from __future__ import annotations
@@ -43,7 +44,11 @@ class TestTraceEquivalence:
         )
         np.testing.assert_array_equal(r1, r2)
         inline = [e.to_dict() for e in tr1.events]
-        proc = [e.to_dict() for e in tr2.events if e.kind != "worker_span"]
+        proc = [
+            e.to_dict()
+            for e in tr2.events
+            if e.kind not in ("worker_span", "zero_merge_commit")
+        ]
         assert inline == proc
 
     def test_worker_spans_emitted(self):

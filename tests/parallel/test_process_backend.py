@@ -98,7 +98,6 @@ class TestConfigErrors:
         "kwargs",
         [
             {"vp_executor": "threads"},
-            {"sanitize": "auto"},
             {"checkpoint_every": 2},
         ],
     )
@@ -119,11 +118,28 @@ class TestConfigErrors:
             )
         assert ei.value.code == "PPM503"
 
-    def test_certified_overlap_ppm503(self):
-        cl = _cluster(certified_overlap_fraction=0.5)
-        with pytest.raises(ParallelConfigError) as ei:
-            run_ppm(main_mixed, cl, executor="process")
-        assert ei.value.code == "PPM503"
+    def test_sanitize_auto_now_supported(self):
+        # Lifted restriction: workers rebuild the conflict-freedom
+        # certificate locally, so sanitize="auto" runs under process.
+        _, r1 = run_ppm(main_mixed, _cluster(), sanitize="auto")
+        _, r2 = run_ppm(
+            main_mixed, _cluster(), sanitize="auto",
+            executor="process", workers=2,
+        )
+        for a, b in zip(r1, r2):
+            np.testing.assert_array_equal(a, b)
+
+    def test_certified_overlap_now_supported(self):
+        ppm1, r1 = run_ppm(main_mixed, _cluster(certified_overlap_fraction=0.5))
+        ppm2, r2 = run_ppm(
+            main_mixed,
+            _cluster(certified_overlap_fraction=0.5),
+            executor="process",
+            workers=2,
+        )
+        for a, b in zip(r1, r2):
+            np.testing.assert_array_equal(a, b)
+        assert ppm1.elapsed == ppm2.elapsed
 
     def test_unpicklable_kernel_ppm501(self):
         lock = threading.Lock()

@@ -139,3 +139,58 @@ def clean_kernel(ctx, A):
     yield ctx.global_phase
     A[ctx.global_rank] = float(ctx.global_rank)
     yield ctx.global_phase
+
+
+# ----------------------------------------------------------------------
+# Idempotent segment release
+# ----------------------------------------------------------------------
+
+class TestIdempotentRelease:
+    """Every registry release path — retire-on-swap, explicit
+    ``close()``, the ``weakref.finalize`` backstop — must unlink each
+    segment exactly once, however they overlap.  A double unlink used
+    to skip the resource tracker's deregistration and surface as a
+    spurious leaked-``/dev/shm`` warning at interpreter shutdown."""
+
+    @pytest.fixture
+    def unlink_counts(self, monkeypatch):
+        from multiprocessing import shared_memory
+
+        counts: dict[str, int] = {}
+        real = shared_memory.SharedMemory.unlink
+
+        def counting(segment):
+            counts[segment.name] = counts.get(segment.name, 0) + 1
+            return real(segment)
+
+        monkeypatch.setattr(shared_memory.SharedMemory, "unlink", counting)
+        return counts
+
+    def test_close_then_backstop_unlinks_each_segment_once(self, unlink_counts):
+        from repro.parallel.shm import ShmRegistry, _unlink_once
+
+        reg = ShmRegistry()
+        reg.allocate("A", None, (8,), np.float64, 0.0)
+        reg.allocate("B", 0, (4,), np.float64, 1.0)
+        reg.swap("A", None)  # retires A's original segment on the way
+        segments = [b.segment for b in reg._blocks.values()]
+        reg.close()
+        reg.close()  # an explicit double close is a no-op
+        for segment in segments:
+            _unlink_once(segment)  # the finalize backstop re-reaching it
+        # Three segments ever existed: A original, A swapped, B.
+        assert len(unlink_counts) == 3
+        assert all(n == 1 for n in unlink_counts.values()), unlink_counts
+        assert live_ppm_segments() == []
+
+    def test_backstop_then_close(self, unlink_counts):
+        from repro.parallel.shm import ShmRegistry
+
+        reg = ShmRegistry()
+        reg.allocate("A", None, (8,), np.float64, 0.0)
+        reg.allocate("B", 1, (4,), np.float64, 2.0)
+        reg._finalizer()  # backstop fires first (interpreter teardown)
+        reg.close()  # explicit close afterwards must not re-unlink
+        assert len(unlink_counts) == 2
+        assert all(n == 1 for n in unlink_counts.values()), unlink_counts
+        assert live_ppm_segments() == []

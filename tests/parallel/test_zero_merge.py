@@ -1,0 +1,275 @@
+"""The certified zero-merge commit path of the process backend.
+
+When a ``do``'s kernel carries a conflict-freedom certificate, workers
+commit their shard's buffered operations directly into the shared
+segments and reply with a fixed-size digest — no write-operation
+records ever cross the pipe.  These tests pin down the contract:
+
+* **byte count** — a certified CG run ships *zero* record bytes: every
+  round holds, every commit group resolves ``local``, no reply carries
+  an ``"ops"`` payload, and each commit reply pickles to a few hundred
+  bytes regardless of problem size;
+* **equivalence** — the three engines (inline, process zero-merge,
+  process with ``zero_merge=False`` record-replay) produce
+  bitwise-identical arrays, identical simulated times and identical
+  traces (modulo ``worker_span``/``zero_merge_commit`` interleaving),
+  property-swept over seeds and worker counts on the Figure-1
+  workloads;
+* **digest verification** — with ``PPM_ZERO_MERGE_VERIFY`` set the
+  parent recomputes every committed-rows checksum, and a mismatch
+  raises;
+* **plan cache** — the worker-side commit-plan cache converges to a
+  high hit rate on iterative solvers.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.apps.cg import build_chimney_problem, ppm_cg_solve
+from repro.apps.graph import hashed_graph, ppm_bfs
+from repro.apps.multigrid import build_mg_problem, ppm_mg_solve
+from repro.config import manycore, testing as mkconfig
+from repro.core import run_ppm
+from repro.machine import Cluster
+from repro.obs import PhaseTrace
+from repro.parallel import backend as backend_mod
+from repro.parallel.pool import WorkerPool
+
+SWEEP = settings(
+    max_examples=3,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def _cg_cluster():
+    return Cluster(manycore(n_nodes=4, cores_per_node=2))
+
+
+@pytest.fixture
+def captured_roundtrips(monkeypatch):
+    """Record every pool round-trip as ``(tag, payload, replies)``."""
+    captured = []
+    real = WorkerPool.roundtrip
+
+    def wrapped(self, tag, payload, *, per_worker=None):
+        replies = real(self, tag, payload, per_worker=per_worker)
+        captured.append((tag, payload, replies))
+        return replies
+
+    monkeypatch.setattr(WorkerPool, "roundtrip", wrapped)
+    return captured
+
+
+# ----------------------------------------------------------------------
+# Byte count: certified CG ships no write-operation records
+# ----------------------------------------------------------------------
+
+class TestZeroRecordBytes:
+    def test_certified_cg_ships_no_ops(self, captured_roundtrips):
+        prob = build_chimney_problem(6, 6, 4, seed=7)
+        ppm_cg_solve(
+            prob, _cg_cluster(), max_iters=6, executor="process", workers=2
+        )
+        rounds = [c for c in captured_roundtrips if c[0] == "round"]
+        commits = [c for c in captured_roundtrips if c[0] == "commit"]
+        assert rounds and commits
+
+        # Every round of the certified solve holds its operations
+        # worker-side, and every commit group resolves to a local
+        # (in-place) commit.
+        assert all(p["mode"] == "hold" for _t, p, _r in rounds)
+        assert all(
+            decision == "local"
+            for _t, p, _r in commits
+            for _key, decision in p["groups"]
+        )
+
+        # Zero record bytes on the pipe: no reply anywhere carries an
+        # operation stream.
+        for _tag, _payload, replies in rounds:
+            for rep in replies:
+                if rep is None:
+                    continue
+                assert "ops" not in rep.get("report", {})
+                for _node_id, report, _flags in rep.get("nodes", ()):
+                    assert "ops" not in report
+        for _tag, _payload, replies in commits:
+            for rep in replies:
+                if rep is None:
+                    continue
+                for _key, digest in rep["groups"]:
+                    assert "ops" not in digest
+
+        # The reply is a fixed-size digest: a few hundred bytes however
+        # large the vectors are (record-shipping replies grow with the
+        # operation count).
+        sizes = [
+            len(pickle.dumps(rep))
+            for _t, _p, replies in commits
+            for rep in replies
+            if rep is not None
+        ]
+        assert max(sizes) < 512, max(sizes)
+
+        # And work actually happened through the zero-merge path.
+        stats = backend_mod.LAST_RUN_STATS
+        assert stats["zm_rounds"] > 0
+        assert stats["zm_ops"] > 0
+        assert stats["bytes_avoided"] > 0
+
+    def test_zero_merge_off_ships_ops(self, captured_roundtrips):
+        # The escape hatch restores the record-shipping protocol.
+        prob = build_chimney_problem(6, 6, 4, seed=7)
+        ppm_cg_solve(
+            prob, _cg_cluster(), max_iters=3,
+            executor="process", workers=2, zero_merge=False,
+        )
+        rounds = [c for c in captured_roundtrips if c[0] == "round"]
+        commits = [c for c in captured_roundtrips if c[0] == "commit"]
+        assert rounds and not commits
+        assert all(p["mode"] == "ship" for _t, p, _r in rounds)
+        assert any(
+            "ops" in rep.get("report", {})
+            for _t, _p, replies in rounds
+            for rep in replies
+            if rep is not None
+        )
+
+
+# ----------------------------------------------------------------------
+# Three-engine equivalence
+# ----------------------------------------------------------------------
+
+class TestThreeEngineEquivalence:
+    """Inline, process zero-merge and process record-replay must agree
+    bitwise on arrays and exactly on simulated time."""
+
+    @SWEEP
+    @given(seed=st.integers(1, 50), workers=st.integers(2, 4))
+    def test_cg(self, seed, workers):
+        prob = build_chimney_problem(6, 6, 4, seed=seed)
+        r1, t1 = ppm_cg_solve(prob, _cg_cluster(), max_iters=8)
+        r2, t2 = ppm_cg_solve(
+            prob, _cg_cluster(), max_iters=8,
+            executor="process", workers=workers,
+        )
+        r3, t3 = ppm_cg_solve(
+            prob, _cg_cluster(), max_iters=8,
+            executor="process", workers=workers, zero_merge=False,
+        )
+        assert t1 == t2 == t3
+        np.testing.assert_array_equal(r1.x, r2.x)
+        np.testing.assert_array_equal(r1.x, r3.x)
+
+    @SWEEP
+    @given(seed=st.integers(1, 50), workers=st.integers(2, 4))
+    def test_bfs(self, seed, workers):
+        g = hashed_graph(128, degree=5, seed=seed)
+        d1, t1 = ppm_bfs(g, 0, _cg_cluster())
+        d2, t2 = ppm_bfs(
+            g, 0, _cg_cluster(), executor="process", workers=workers
+        )
+        d3, t3 = ppm_bfs(
+            g, 0, _cg_cluster(),
+            executor="process", workers=workers, zero_merge=False,
+        )
+        assert t1 == t2 == t3
+        np.testing.assert_array_equal(d1, d2)
+        np.testing.assert_array_equal(d1, d3)
+
+    @SWEEP
+    @given(seed=st.integers(1, 50), workers=st.integers(2, 4))
+    def test_multigrid(self, seed, workers):
+        prob = build_mg_problem(levels=3, seed=seed)
+        cl = lambda: Cluster(mkconfig(n_nodes=2, cores_per_node=2))  # noqa: E731
+        u1, t1 = ppm_mg_solve(prob, cl(), cycles=2)
+        u2, t2 = ppm_mg_solve(
+            prob, cl(), cycles=2, executor="process", workers=workers
+        )
+        u3, t3 = ppm_mg_solve(
+            prob, cl(), cycles=2,
+            executor="process", workers=workers, zero_merge=False,
+        )
+        assert t1 == t2 == t3
+        np.testing.assert_array_equal(u1, u2)
+        np.testing.assert_array_equal(u1, u3)
+
+    def test_traces_identical_modulo_process_events(self):
+        prob = build_chimney_problem(6, 6, 4, seed=3)
+        traces = [PhaseTrace() for _ in range(3)]
+        ppm_cg_solve(prob, _cg_cluster(), max_iters=4, trace=traces[0])
+        ppm_cg_solve(
+            prob, _cg_cluster(), max_iters=4, trace=traces[1],
+            executor="process", workers=2,
+        )
+        ppm_cg_solve(
+            prob, _cg_cluster(), max_iters=4, trace=traces[2],
+            executor="process", workers=2, zero_merge=False,
+        )
+        skip = ("worker_span", "zero_merge_commit")
+        streams = [
+            [e.to_dict() for e in tr.events if e.kind not in skip]
+            for tr in traces
+        ]
+        assert streams[0] == streams[1] == streams[2]
+
+
+# ----------------------------------------------------------------------
+# Digest verification
+# ----------------------------------------------------------------------
+
+class TestDigestVerify:
+    def test_verified_run_passes(self, monkeypatch):
+        monkeypatch.setenv("PPM_ZERO_MERGE_VERIFY", "1")
+        prob = build_chimney_problem(6, 6, 4, seed=11)
+        r1, t1 = ppm_cg_solve(prob, _cg_cluster(), max_iters=6)
+        r2, t2 = ppm_cg_solve(
+            prob, _cg_cluster(), max_iters=6, executor="process", workers=2
+        )
+        assert t1 == t2
+        np.testing.assert_array_equal(r1.x, r2.x)
+        assert backend_mod.LAST_RUN_STATS["zm_rounds"] > 0
+
+    def test_mismatch_raises(self):
+        from repro.parallel.backend import ProcessBackend
+
+        class FakeShared:
+            _data = np.arange(8.0)
+
+        class FakeRT:
+            shared_registry = {"A": FakeShared()}
+
+        be = ProcessBackend.__new__(ProcessBackend)
+        be.rt = FakeRT()
+        be._arrays = [{}]
+        rows = np.array([0, 3, 5])
+        digest = {"checksums": [("A", None, 0xDEADBEEF, ("n", 1, rows))]}
+        with pytest.raises(RuntimeError, match="digest mismatch"):
+            be._verify_digest(0, digest)
+
+
+# ----------------------------------------------------------------------
+# Commit-plan cache
+# ----------------------------------------------------------------------
+
+class TestPlanCache:
+    def test_iterative_solver_converges_to_hits(self):
+        prob = build_chimney_problem(6, 6, 4, seed=7)
+        ppm_cg_solve(
+            prob, _cg_cluster(), max_iters=12, executor="process", workers=2
+        )
+        stats = backend_mod.LAST_RUN_STATS
+        hits, misses = stats["plan_hits"], stats["plan_misses"]
+        assert hits + misses > 0
+        rate = hits / (hits + misses)
+        # Each distinct access pattern compiles once per worker and
+        # hits on every later round; 12 CG iterations make warm-up
+        # noise small.
+        assert rate >= 0.85, (hits, misses)
