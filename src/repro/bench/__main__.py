@@ -67,7 +67,14 @@ def _wallclock_cli(argv: list) -> int:
     return wallclock_module.main(argv)
 
 
+def _resilience_cli(argv: list) -> int:
+    from repro.bench import resilience as resilience_module
+
+    return resilience_module.main(argv)
+
+
 CLI_EXPERIMENTS["wallclock"] = _wallclock_cli
+CLI_EXPERIMENTS["resilience"] = _resilience_cli
 
 
 def main(argv: list[str]) -> int:

@@ -433,6 +433,7 @@ def wallclock_process(
     small: bool = False,
     workers: int | None = None,
     reps: int | None = None,
+    supervised: bool = False,
 ) -> SweepResult:
     """Host-seconds comparison of ``executor="inline"`` vs
     ``executor="process"`` on the macro workloads.
@@ -454,9 +455,16 @@ def wallclock_process(
 
     from repro.parallel import backend as backend_mod
 
+    process_opts: dict = {"executor": "process", "workers": workers}
+    if supervised:
+        from repro.parallel import SupervisionPolicy
+
+        # A fresh default policy per run: fault-free supervision is
+        # pure deadline bookkeeping on the existing reply gather.
+        process_opts["supervision"] = SupervisionPolicy()
     variants = {
         "inline": {},
-        "process": {"executor": "process", "workers": workers},
+        "process": process_opts,
     }
     rows: list[dict] = []
     notes: list[str] = []
@@ -502,7 +510,8 @@ def wallclock_process(
         rows=rows,
         notes=(
             "HOST seconds: executor inline vs process "
-            f"({workers} workers, {os.cpu_count()} host cpu(s)), "
+            + ("(supervised pool) " if supervised else "")
+            + f"({workers} workers, {os.cpu_count()} host cpu(s)), "
             f"min of {reps} interleaved rep(s); simulated times and "
             "committed arrays are bitwise identical between executors. "
             "On a single-core host the process column is expected to be "
@@ -516,7 +525,7 @@ def wallclock_process(
     )
 
 
-def process_equivalence_check(*, workers: int = 2) -> dict:
+def process_equivalence_check(*, workers: int = 2, supervised: bool = False) -> dict:
     """Three-engine bitwise check on a small CG workload (the
     ``--check`` half of the CI ``parallel-smoke`` job).
 
@@ -529,11 +538,20 @@ def process_equivalence_check(*, workers: int = 2) -> dict:
     certificate that did not hold raises instead of passing silently.
     The commit-plan cache must also converge: hit rate >= 0.9 over the
     run (every access pattern compiles once and hits thereafter).
+
+    With ``supervised=True`` both process runs execute under a default
+    :class:`~repro.parallel.SupervisionPolicy` — the fault-free
+    supervised pool must clear the same bar.
     """
     from repro.apps.cg import build_chimney_problem, ppm_cg_solve
     from repro.parallel import backend as backend_mod
     from repro.parallel.shm import live_ppm_segments
 
+    sup_opts: dict = {}
+    if supervised:
+        from repro.parallel import SupervisionPolicy
+
+        sup_opts["supervision"] = SupervisionPolicy()
     problem = build_chimney_problem(8)
     r1, t1 = ppm_cg_solve(problem, _cluster(4), max_iters=14, tol=0.0)
     prev_verify = os.environ.get("PPM_ZERO_MERGE_VERIFY")
@@ -546,6 +564,7 @@ def process_equivalence_check(*, workers: int = 2) -> dict:
             tol=0.0,
             executor="process",
             workers=workers,
+            **sup_opts,
         )
     finally:
         if prev_verify is None:
@@ -561,6 +580,7 @@ def process_equivalence_check(*, workers: int = 2) -> dict:
         executor="process",
         workers=workers,
         zero_merge=False,
+        **sup_opts,
     )
     leaked = live_ppm_segments()
     bitwise = bool(np.array_equal(r1.x, r2.x) and np.array_equal(r1.x, r3.x))
@@ -571,6 +591,7 @@ def process_equivalence_check(*, workers: int = 2) -> dict:
     zm_ok = stats.get("zm_rounds", 0) > 0 and hit_rate >= 0.9
     return {
         "workers": workers,
+        "supervised": supervised,
         "bitwise_identical": bitwise,
         "simulated_time_identical": times,
         "leaked_segments": leaked,
@@ -743,6 +764,13 @@ def main(argv: list[str] | None = None) -> int:
         "nonzero exit on breach",
     )
     parser.add_argument(
+        "--supervised",
+        action="store_true",
+        help="with --executor process: run the process variants under "
+        "a default SupervisionPolicy (fault-tolerant pool); the "
+        "equivalence bar is unchanged",
+    )
+    parser.add_argument(
         "--profile",
         action="store_true",
         help="cProfile the benchmark: parent top-20 cumulative to "
@@ -780,11 +808,17 @@ def main(argv: list[str] | None = None) -> int:
             fh.write(buf.getvalue())
         print(f"profiles in {prof_dir}")
 
+    if args.supervised and args.executor != "process":
+        parser.error("--supervised requires --executor process")
     if args.executor == "process":
-        result = wallclock_process(small=args.small, workers=args.workers)
+        result = wallclock_process(
+            small=args.small, workers=args.workers, supervised=args.supervised
+        )
         check = None
         if args.check:
-            check = process_equivalence_check(workers=args.workers or 2)
+            check = process_equivalence_check(
+                workers=args.workers or 2, supervised=args.supervised
+            )
             print(
                 "equivalence: "
                 f"bitwise={check['bitwise_identical']} "

@@ -107,6 +107,36 @@ class ParallelExecutionError(ParallelError):
     traceback (when one was captured) is part of the message."""
 
 
+class WorkerDeathError(ParallelExecutionError):
+    """A worker process of the ``"process"`` executor died (crashed,
+    was killed, or hung past its deadline) and no supervisor was
+    configured to recover it.
+
+    The message names the worker id(s), the failure kind, the round
+    and the last command on the pipe, so a raw ``EOFError`` /
+    ``BrokenPipeError`` from a dead child never surfaces as a bare
+    traceback.  ``code`` is ``PPM603`` (docs/DIAGNOSTICS.md); pass
+    ``run_ppm(..., supervision=SupervisionPolicy())`` to recover
+    instead of raising."""
+
+    def __init__(self, message: str, *, code: str = "PPM603") -> None:
+        super().__init__(f"{code}: {message}")
+        self.code = code
+
+
+class SupervisionExhaustedError(ParallelExecutionError):
+    """The worker supervisor exhausted its respawn budget and its
+    policy says ``degrade="error"``.
+
+    ``code`` is ``PPM604`` (docs/DIAGNOSTICS.md).  The other degrade
+    modes (``"shrink"``, ``"inline"``) restart the run deterministically
+    instead of raising."""
+
+    def __init__(self, message: str, *, code: str = "PPM604") -> None:
+        super().__init__(f"{code}: {message}")
+        self.code = code
+
+
 def _revive_vp_error(message, node, vp_rank, phase_index):
     """Rebuild a :class:`VpProgramError` from its shipped fields.
 

@@ -69,6 +69,8 @@ class PpmProgram:
         executor: str = "inline",
         workers: int | None = None,
         zero_merge: bool = True,
+        supervision=None,
+        supervision_state=None,
     ) -> None:
         if trace in (None, False):
             tracer = None
@@ -90,6 +92,8 @@ class PpmProgram:
             executor=executor,
             workers=workers,
             zero_merge=zero_merge,
+            supervision=supervision,
+            supervision_state=supervision_state,
         )
         self.cluster = cluster
 
@@ -231,6 +235,7 @@ def run_ppm(
     executor: str = "inline",
     workers: int | None = None,
     zero_merge: bool = True,
+    supervision=None,
     **kwargs: object,
 ):
     """Run a PPM application.
@@ -297,8 +302,8 @@ def run_ppm(
         simulated times stay bitwise-identical; see docs/PARALLEL.md).
         Requires a picklable kernel and arguments
         (:class:`~repro.core.errors.ParallelConfigError` ``PPM501``)
-        and cannot combine with ``vp_executor="threads"`` or the
-        resilience subsystem (``PPM503``).
+        and cannot combine with ``vp_executor="threads"``
+        (``PPM503``).
     workers:
         Worker process count for ``executor="process"`` (default:
         :func:`repro.parallel.default_workers`, the CPU count clamped
@@ -312,6 +317,21 @@ def run_ppm(
         round through the record-shipping replay path (results are
         bitwise-identical either way; see docs/PARALLEL.md).  Ignored
         under the inline executor.
+    supervision:
+        ``None`` (default) or a
+        :class:`~repro.parallel.supervisor.SupervisionPolicy` —
+        fault-tolerant worker pool under ``executor="process"``: a
+        crashed, hung or corrupted worker is detected at the phase-
+        round boundary, respawned, and its shard's round history
+        replayed, with committed arrays, simulated times and traces
+        staying bitwise-identical to a fault-free run.  When the
+        respawn budget runs out the run *degrades* (restarts with
+        fewer workers or falls back to ``executor="inline"``) instead
+        of crashing (docs/PARALLEL.md).  Requires
+        ``executor="process"``
+        (:class:`~repro.core.errors.ParallelConfigError` ``PPM602``);
+        without it a worker death raises
+        :class:`~repro.core.errors.WorkerDeathError` (``PPM603``).
 
     With ``faults``, ``checkpoint_every`` and ``resilience`` all
     ``None`` (the default), this takes exactly the pre-resilience
@@ -323,6 +343,74 @@ def run_ppm(
         The program object (for ``elapsed``, ``trace``, shared
         registry) and ``main``'s return value.
     """
+    if supervision is None:
+        return _run_once(
+            main, cluster, args, kwargs,
+            vp_executor=vp_executor, sanitize=sanitize, trace=trace,
+            hot_path=hot_path, faults=faults,
+            checkpoint_every=checkpoint_every, resilience=resilience,
+            executor=executor, workers=workers, zero_merge=zero_merge,
+            supervision=None, supervision_state=None,
+        )
+
+    # Supervised run: the degradation loop.  A _PoolDegradation escape
+    # (respawn budget exhausted) restarts the whole driver from scratch
+    # in a weaker configuration — fewer workers, ultimately the inline
+    # engine — rather than surfacing an error.  The restart is sound
+    # for the same reason resilience incarnations are: driver + kernel
+    # re-execute deterministically, and clocks/node memory reset so the
+    # final simulated times match an untroubled run of the final
+    # configuration.
+    from repro.obs.events import PoolDegraded
+    from repro.parallel.supervisor import SupervisionState, _PoolDegradation
+
+    # Resolve the tracer once so every restart (and every resilience
+    # incarnation) appends to the same PhaseTrace.
+    if trace is True or trace == "on":
+        trace = PhaseTrace()
+    state = SupervisionState()
+    while True:
+        try:
+            return _run_once(
+                main, cluster, args, kwargs,
+                vp_executor=vp_executor, sanitize=sanitize, trace=trace,
+                hot_path=hot_path, faults=faults,
+                checkpoint_every=checkpoint_every, resilience=resilience,
+                executor=executor, workers=workers, zero_merge=zero_merge,
+                supervision=supervision, supervision_state=state,
+            )
+        except _PoolDegradation as deg:
+            state.degradations += 1
+            if deg.mode == "shrink" and deg.workers_from - 1 >= 1:
+                workers = deg.workers_from - 1
+                workers_to = workers
+            else:
+                executor = "inline"
+                supervision = None
+                workers_to = 0
+            if isinstance(trace, PhaseTrace):
+                trace.emit(
+                    PoolDegraded(
+                        phase=-1,
+                        mode=deg.mode,
+                        workers_from=deg.workers_from,
+                        workers_to=workers_to,
+                    )
+                )
+            cluster.reset_clocks()
+            for node in cluster:
+                node.memory.clear()
+            state.publish()
+
+
+def _run_once(
+    main, cluster, args, kwargs, *,
+    vp_executor, sanitize, trace, hot_path, faults, checkpoint_every,
+    resilience, executor, workers, zero_merge, supervision,
+    supervision_state,
+):
+    """One complete driver execution (one pool configuration); the
+    body ``run_ppm`` wraps in its supervised degradation loop."""
     if faults is None and checkpoint_every is None and resilience is None:
         ppm = PpmProgram(
             cluster,
@@ -333,6 +421,8 @@ def run_ppm(
             executor=executor,
             workers=workers,
             zero_merge=zero_merge,
+            supervision=supervision,
+            supervision_state=supervision_state,
         )
         try:
             result = main(ppm, *args, **kwargs)
@@ -370,6 +460,9 @@ def run_ppm(
             resilience=manager,
             executor=executor,
             workers=workers,
+            zero_merge=zero_merge,
+            supervision=supervision,
+            supervision_state=supervision_state,
         )
         manager.begin_incarnation(ppm.runtime)
         try:

@@ -125,6 +125,8 @@ class PpmRuntime:
         executor: str = "inline",
         workers: int | None = None,
         zero_merge: bool = True,
+        supervision=None,
+        supervision_state=None,
     ) -> None:
         if vp_executor not in ("sequential", "threads"):
             raise ValueError(
@@ -146,22 +148,31 @@ class PpmRuntime:
                     code="PPM502",
                 )
             workers = int(workers)
-        if executor == "process":
-            if vp_executor == "threads":
-                raise ParallelConfigError(
-                    "executor='process' already parallelises phase bodies "
-                    "across worker processes; vp_executor='threads' cannot "
-                    "be combined with it",
-                    code="PPM503",
-                )
-            if resilience is not None:
-                raise ParallelConfigError(
-                    "executor='process' cannot be combined with the "
-                    "resilience subsystem (faults=, checkpoint_every= or "
-                    "resilience=): recovery replays VP generators that "
-                    "live in the workers",
-                    code="PPM503",
-                )
+        if executor == "process" and vp_executor == "threads":
+            raise ParallelConfigError(
+                "executor='process' already parallelises phase bodies "
+                "across worker processes; vp_executor='threads' cannot "
+                "be combined with it",
+                code="PPM503",
+            )
+        if supervision is not None and executor != "process":
+            raise ParallelConfigError(
+                "supervision= configures worker-process crash recovery "
+                "and requires executor='process' (the inline executor "
+                "has no workers to supervise)",
+                code="PPM602",
+            )
+        #: Worker supervision policy
+        #: (:class:`repro.parallel.supervisor.SupervisionPolicy`), or
+        #: None (a worker death is fatal, PPM603).  Process executor
+        #: only.
+        self.supervision = supervision
+        #: Cross-restart supervision counters
+        #: (:class:`repro.parallel.supervisor.SupervisionState`);
+        #: ``run_ppm``'s degradation loop threads one state object
+        #: through pool restarts so the final report covers the whole
+        #: run.  None means the backend creates a fresh one.
+        self.supervision_state = supervision_state
         #: Execution backend selector: ``"inline"`` (default — phase
         #: bodies run in this process, bitwise-identical to every
         #: release before the backend existed) or ``"process"`` — phase

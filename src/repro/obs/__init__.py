@@ -39,9 +39,13 @@ from repro.obs.events import (
     PhaseBegin,
     PhaseCommit,
     PhaseTrace,
+    PoolDegraded,
     Recovery,
     RetryAttempt,
+    RoundReplay,
     VpScheduled,
+    WorkerCrash,
+    WorkerRespawn,
     WorkerSpan,
     ZeroMergeCommit,
     event_from_dict,
@@ -59,6 +63,7 @@ from repro.obs.metrics import (
     PhaseReport,
     ResilienceSummary,
     RunReport,
+    SupervisionSummary,
     WorkerUtilization,
     ZeroMergeSummary,
 )
@@ -78,11 +83,16 @@ __all__ = [
     "PhaseCommit",
     "PhaseReport",
     "PhaseTrace",
+    "PoolDegraded",
     "Recovery",
     "ResilienceSummary",
     "RetryAttempt",
+    "RoundReplay",
     "RunReport",
+    "SupervisionSummary",
     "VpScheduled",
+    "WorkerCrash",
+    "WorkerRespawn",
     "WorkerSpan",
     "WorkerUtilization",
     "ZeroMergeCommit",

@@ -22,6 +22,10 @@ Event              Emitted from             One per
 `PhaseCommit`      core/runtime.py          phase, after its barrier
 `WorkerSpan`       parallel/backend.py      (phase round, worker process)
 `ZeroMergeCommit`  parallel/backend.py      phase group committed in place
+`WorkerCrash`      parallel/supervisor.py   worker failure detected
+`WorkerRespawn`    parallel/supervisor.py   worker process respawned
+`RoundReplay`      parallel/supervisor.py   respawned worker caught up
+`PoolDegraded`     parallel/supervisor.py   pool degraded after budget
 `FaultInjected`    resilience/manager.py    fault the injector fired
 `RetryAttempt`     resilience/retry.py      re-sent bundle flight
 `CheckpointTaken`  resilience/checkpoint.py coordinated checkpoint
@@ -257,6 +261,75 @@ class ZeroMergeCommit(Event):
 
 
 @dataclass(frozen=True)
+class WorkerCrash(Event):
+    """The worker supervisor detected one worker failure.
+
+    ``failure`` classifies the detection path: ``crash`` (dead pipe —
+    EOF / broken pipe / send error), ``hang`` (no reply within the
+    round deadline; the parent killed the stuck child) or
+    ``corrupt-reply`` (a reply arrived but could not be interpreted).
+    ``command`` is the pipe command in flight (``round``, ``commit``,
+    ``do_start``, ...); ``phase`` the first phase of the round being
+    dispatched (``-1`` outside a round)."""
+
+    kind: ClassVar[str] = "worker_crash"
+
+    worker: int
+    failure: str
+    command: str
+
+
+@dataclass(frozen=True)
+class WorkerRespawn(Event):
+    """The supervisor respawned one failed worker process.
+
+    ``attempt`` is the 1-based respawn count for this worker across
+    the run (the respawn budget bounds its sum over all workers);
+    ``host_s`` the host wall-clock seconds from failure detection to
+    the fresh process being initialised (backoff included)."""
+
+    kind: ClassVar[str] = "worker_respawn"
+
+    worker: int
+    attempt: int
+    host_s: float
+
+
+@dataclass(frozen=True)
+class RoundReplay(Event):
+    """A respawned worker replayed the current do's logged rounds to
+    rebuild its generator and held-recorder state, then re-executed
+    the interrupted command.
+
+    ``rounds`` counts the replayed round commands; ``host_s`` is the
+    host wall-clock seconds the replay took on the worker."""
+
+    kind: ClassVar[str] = "round_replay"
+
+    worker: int
+    rounds: int
+    host_s: float
+
+
+@dataclass(frozen=True)
+class PoolDegraded(Event):
+    """The supervisor exhausted its respawn budget and degraded the
+    run instead of crashing it.
+
+    ``mode`` is ``shrink`` (restart with fewer workers) or ``inline``
+    (restart on the sequential in-process executor);
+    ``workers_from``/``workers_to`` give the pool size before and
+    after (``workers_to == 0`` means inline).  The restarted run is
+    deterministic, so committed arrays stay bitwise-identical."""
+
+    kind: ClassVar[str] = "pool_degraded"
+
+    mode: str
+    workers_from: int
+    workers_to: int
+
+
+@dataclass(frozen=True)
 class FaultInjected(Event):
     """The fault injector fired one planned fault.
 
@@ -346,6 +419,10 @@ EVENT_TYPES: dict[str, type[Event]] = {
         PhaseCommit,
         WorkerSpan,
         ZeroMergeCommit,
+        WorkerCrash,
+        WorkerRespawn,
+        RoundReplay,
+        PoolDegraded,
         FaultInjected,
         RetryAttempt,
         CheckpointTaken,

@@ -301,6 +301,20 @@ def format_report(report: RunReport) -> str:
             f"({100 * zm.plan_hit_rate:.0f}%)   "
             f"merge bytes avoided: {zm.bytes_avoided}"
         )
+    sv = report.supervision
+    if sv is not None:
+        # Section appears only when the supervisor intervened, so
+        # fault-free supervised output stays byte-identical too.
+        lines.append(
+            f"worker failures: {sv.failures} "
+            f"({sv.crashes} crash, {sv.hangs} hang, {sv.corrupt} corrupt)   "
+            f"respawns: {sv.respawns}   replayed rounds: "
+            f"{sv.replayed_rounds}"
+        )
+        lines.append(
+            f"degradations: {sv.degradations}   "
+            f"recovery time: {_fmt_ms(sv.recovery_host_s)} ms host"
+        )
     if report.workers is not None:
         # Section appears only for process-backend runs, so inline
         # report output stays byte-identical to earlier versions.
@@ -400,6 +414,23 @@ def report_to_dict(report: RunReport) -> dict:
                 }
             }
             if report.zero_merge is not None
+            else {}
+        ),
+        # Same pattern for the worker-supervision summary.
+        **(
+            {
+                "supervision": {
+                    "crashes": report.supervision.crashes,
+                    "hangs": report.supervision.hangs,
+                    "corrupt": report.supervision.corrupt,
+                    "failures": report.supervision.failures,
+                    "respawns": report.supervision.respawns,
+                    "replayed_rounds": report.supervision.replayed_rounds,
+                    "degradations": report.supervision.degradations,
+                    "recovery_host_s": report.supervision.recovery_host_s,
+                }
+            }
+            if report.supervision is not None
             else {}
         ),
         # Same pattern for the process-backend worker table.

@@ -38,9 +38,13 @@ from repro.obs.events import (
     MessageSend,
     PhaseBegin,
     PhaseCommit,
+    PoolDegraded,
     Recovery,
     RetryAttempt,
+    RoundReplay,
     VpScheduled,
+    WorkerCrash,
+    WorkerRespawn,
     WorkerSpan,
     ZeroMergeCommit,
 )
@@ -171,6 +175,45 @@ class ResilienceSummary:
 
 
 @dataclass(frozen=True)
+class SupervisionSummary:
+    """Run-level aggregates of the worker-supervision event stream
+    (present on a :class:`RunReport` only when the trace carries
+    :class:`~repro.obs.events.WorkerCrash`,
+    :class:`~repro.obs.events.WorkerRespawn`,
+    :class:`~repro.obs.events.RoundReplay` or
+    :class:`~repro.obs.events.PoolDegraded` events, i.e. the run used
+    ``run_ppm(..., supervision=...)`` and the supervisor actually
+    intervened).
+
+    * **crashes** / **hangs** / **corrupt** — detected worker failures
+      by kind (closed pipe, reply-deadline overrun, undeserialisable
+      reply).
+    * **respawns** — replacement workers forked (and their init
+      handshake completed).
+    * **replayed_rounds** — phase-round commands re-executed to rebuild
+      respawned shards' generator state.
+    * **degradations** — pool restarts in a weaker configuration after
+      an exhausted respawn budget.
+    * **recovery_host_s** — real (host wall-clock) seconds spent inside
+      recovery; like :class:`WorkerUtilization` durations, not
+      simulated time.
+    """
+
+    crashes: int
+    hangs: int
+    corrupt: int
+    respawns: int
+    replayed_rounds: int
+    degradations: int
+    recovery_host_s: float
+
+    @property
+    def failures(self) -> int:
+        """All detected worker failures, regardless of kind."""
+        return self.crashes + self.hangs + self.corrupt
+
+
+@dataclass(frozen=True)
 class PhaseReport:
     """Aggregated metrics of one committed phase."""
 
@@ -233,6 +276,10 @@ class RunReport:
     """Aggregates of the zero-merge commit path (aggregated
     :class:`~repro.obs.events.ZeroMergeCommit` events); None when no
     round committed worker-side."""
+    supervision: SupervisionSummary | None = None
+    """Aggregates of the worker-supervision event stream (crashes,
+    respawns, replays, degradations); None when the supervisor never
+    intervened."""
 
     # -- construction --------------------------------------------------
     @classmethod
@@ -261,6 +308,10 @@ class RunReport:
         spans: list[WorkerSpan] = []
         zm = {"commits": 0, "ops": 0, "plan_hits": 0, "plan_misses": 0,
               "bytes_avoided": 0}
+        sup = {"crashes": 0, "hangs": 0, "corrupt": 0, "respawns": 0,
+               "replayed_rounds": 0, "degradations": 0,
+               "recovery_host_s": 0.0}
+        saw_supervision = False
 
         def bucket(phase: int) -> dict:
             if phase not in acc:
@@ -327,6 +378,25 @@ class RunReport:
                 zm["plan_hits"] += ev.plan_hits
                 zm["plan_misses"] += ev.plan_misses
                 zm["bytes_avoided"] += ev.bytes_avoided
+            elif isinstance(ev, WorkerCrash):
+                saw_supervision = True
+                if ev.failure == "hang":
+                    sup["hangs"] += 1
+                elif ev.failure == "corrupt-reply":
+                    sup["corrupt"] += 1
+                else:
+                    sup["crashes"] += 1
+            elif isinstance(ev, WorkerRespawn):
+                saw_supervision = True
+                sup["respawns"] += 1
+                sup["recovery_host_s"] += ev.host_s
+            elif isinstance(ev, RoundReplay):
+                saw_supervision = True
+                sup["replayed_rounds"] += ev.rounds
+                sup["recovery_host_s"] += ev.host_s
+            elif isinstance(ev, PoolDegraded):
+                saw_supervision = True
+                sup["degradations"] += 1
 
         reports = []
         for phase in sorted(commits):
@@ -373,6 +443,7 @@ class RunReport:
             resilience=ResilienceSummary(**res) if saw_resilience else None,
             workers=_worker_table(spans) if spans else None,
             zero_merge=ZeroMergeSummary(**zm) if zm["commits"] else None,
+            supervision=SupervisionSummary(**sup) if saw_supervision else None,
         )
 
     @classmethod

@@ -62,6 +62,23 @@ class ProcessBackend:
         self._pool = WorkerPool(
             self.n_workers, {"config": runtime.cluster.config}
         )
+        # Worker supervision (crash recovery): the supervisor logs the
+        # dispatched commands and the pool hands it detected failures.
+        self.supervisor = None
+        if getattr(runtime, "supervision", None) is not None:
+            from repro.parallel.supervisor import (
+                SupervisionState,
+                WorkerSupervisor,
+            )
+
+            state = runtime.supervision_state
+            if state is None:
+                state = SupervisionState()
+            self.supervisor = WorkerSupervisor(
+                self, runtime.supervision, state
+            )
+            self.supervisor.pool = self._pool
+            self._pool.supervisor = self.supervisor
         # Per-do decode state (reset by start_do).
         self._vp_index: dict = {}
         self._arrays: list[dict] = []
@@ -114,25 +131,12 @@ class ProcessBackend:
                 "arguments (lambdas and locally-defined closures are not)",
                 code="PPM501",
             ) from exc
-        shared_specs = []
-        for name, sv in rt.shared_registry.items():
-            if isinstance(sv, NodeShared):
-                segs = [
-                    (node_id, rt.shm.segment_of(name, node_id))
-                    for node_id in range(rt.cluster.n_nodes)
-                ]
-                shared_specs.append((name, "node", sv.shape, sv.dtype, segs))
-            else:
-                shared_specs.append(
-                    (name, "global", sv.shape, sv.dtype,
-                     rt.shm.segment_of(name, None))
-                )
         common = {
             "hot_path": rt.hot_path,
             "kernel": blob,
             "counts": list(counts),
             "default_decl": (default_decl.kind, default_decl.latency_rounds),
-            "shared": shared_specs,
+            "shared": self._shared_specs(),
             # Workers rebuild the kernel certificate from their own
             # unpickled copy (the analysis is a pure function of source
             # + argument classification): the parent cannot check
@@ -174,7 +178,57 @@ class ProcessBackend:
         self._round_flags = {}
         self._hold_wtargets = {}
         self._commit_replies = None
+        if self.supervisor is not None:
+            self.supervisor.begin_do(common, payloads)
         self._pool.roundtrip("do_start", None, per_worker=payloads)
+
+    def _shared_specs(self, overrides=None) -> list:
+        """The shared-variable -> segment map shipped with do_start.
+
+        ``overrides`` maps ``(name, instance)`` to a segment name that
+        replaces the registry's current one — the supervisor passes the
+        *retained* pre-swap names here when respawning a worker inside
+        a zero-merge commit window, so the replacement replays against
+        the pristine pre-commit state."""
+        rt = self.rt
+        overrides = overrides or {}
+
+        def seg(name, instance):
+            hit = overrides.get((name, instance))
+            return hit if hit is not None else rt.shm.segment_of(name, instance)
+
+        specs = []
+        for name, sv in rt.shared_registry.items():
+            if isinstance(sv, NodeShared):
+                segs = [
+                    (node_id, seg(name, node_id))
+                    for node_id in range(rt.cluster.n_nodes)
+                ]
+                specs.append((name, "node", sv.shape, sv.dtype, segs))
+            else:
+                specs.append(
+                    (name, "global", sv.shape, sv.dtype, seg(name, None))
+                )
+        return specs
+
+    def reset_worker_decode(self, w: int) -> None:
+        """Drop worker ``w``'s decode interning tables (respawn: the
+        replacement's ``id()`` values can collide with the dead
+        worker's, so a stale cached spec would silently alias)."""
+        self._arrays[w] = {}
+        self._specs[w] = {}
+        self._rec_cache[w] = {}
+
+    def merge_views(self, views) -> None:
+        """Merge a worker reply's snapshot-view flags into the
+        registry's copy-on-commit guard."""
+        registry = self.rt.shared_registry
+        for name, instance in views:
+            sv = registry[name]
+            if instance is None:
+                sv._views_taken = True
+            else:
+                sv._views_taken[instance] = True
 
     def run_prologue(self, vps_by_node) -> None:
         """Run every VP to its first phase declaration, worker-side."""
@@ -188,7 +242,10 @@ class ProcessBackend:
         """Release per-do worker state; best-effort because this runs
         in the ``finally`` of ``do`` with any real error propagating."""
         self._pool.best_effort("do_end", None)
+        self.rt.shm.release_retained()
         self.rt.shm.sweep()
+        if self.supervisor is not None:
+            self.supervisor.end_do()
         self._global_reports = None
         self._node_reports = None
         self._coll_outbox = []
@@ -242,19 +299,15 @@ class ProcessBackend:
         self._hold_wtargets = {}
         self._commit_replies = None
         self._coll_outbox = []
+        if self.supervisor is not None:
+            self.supervisor.log_round(cmd)
         replies = self._pool.roundtrip("round", cmd)
         # Merge snapshot-view flags before any commit of this round so
         # the copy-on-commit guard sees worker-held views.
-        registry = rt.shared_registry
         for rep in replies:
             if rep is None:
                 continue
-            for name, instance in rep["views"]:
-                sv = registry[name]
-                if instance is None:
-                    sv._views_taken = True
-                else:
-                    sv._views_taken[instance] = True
+            self.merge_views(rep["views"])
         flag_lists: dict = {}
         if kind == "global":
             self._global_reports = [
@@ -435,6 +488,13 @@ class ProcessBackend:
         the decisions."""
         rt = self.rt
         registry = rt.shared_registry
+        # Under supervision every local-commit target swaps (force) and
+        # the superseded segment stays attachable (retain): should a
+        # worker die mid-commit, its replacement re-attaches the
+        # pristine pre-commit copy and replays from it — in-place
+        # accumulates are not idempotent, so a partial apply by the
+        # dead worker must be overwritten, not re-applied.
+        supervised = self.supervisor is not None
         groups = []
         for node_key, (_certified, zero_merge) in sorted(
             self._round_flags.items(),
@@ -446,14 +506,20 @@ class ProcessBackend:
                     self._hold_wtargets.get(node_key, ()),
                     key=lambda t: (t[0], -1 if t[1] is None else t[1]),
                 ):
-                    registry[name]._commit_target(instance)
+                    registry[name]._commit_target(
+                        instance, force=supervised, retain=supervised
+                    )
             groups.append((node_key, decision))
         cmd = {
             "remaps": rt.shm.drain_remaps(),
             "groups": groups,
             "verify": self._verify,
         }
+        if supervised:
+            self.supervisor.log_commit(cmd)
         replies = self._pool.roundtrip("commit", cmd)
+        if supervised:
+            rt.shm.release_retained()
         merged: dict = {}
         for w, rep in enumerate(replies):
             if rep is None:

@@ -25,7 +25,11 @@ from __future__ import annotations
 import multiprocessing
 import pickle
 
-from repro.core.errors import ParallelConfigError, ParallelExecutionError
+from repro.core.errors import (
+    ParallelConfigError,
+    ParallelExecutionError,
+    WorkerDeathError,
+)
 
 
 def _start_context():
@@ -88,33 +92,75 @@ class WorkerPool:
         self._conns = []
         self._dead: set[int] = set()
         self._closed = False
+        #: Kept for worker respawns (crash recovery).
+        self._init_payload = init_payload
+        #: Recovery hook (a
+        #: :class:`~repro.parallel.supervisor.WorkerSupervisor`);
+        #: None means a worker death is fatal (PPM603).
+        self.supervisor = None
+        #: Diagnostics: round-command dispatches and the last command
+        #: on the pipes, named by the PPM603 message.
+        self._round_no = 0
+        self._last_tag = "init"
         try:
             for i in range(n_workers):
-                parent_conn, child_conn = ctx.Pipe(duplex=True)
-                proc = ctx.Process(
-                    target=worker_main,
-                    args=(child_conn, i),
-                    name=f"ppm-worker-{i}",
-                    daemon=True,
-                )
-                proc.start()
-                child_conn.close()
-                self._procs.append(proc)
-                self._conns.append(parent_conn)
+                self._spawn(ctx, i)
             self.roundtrip("init", init_payload)
         except BaseException:
             self.close()
             raise
 
+    def _spawn(self, ctx, i: int) -> None:
+        """Fork worker ``i`` and store its process + pipe at index
+        ``i`` (appending on first spawn, replacing on respawn)."""
+        from repro.parallel.worker import worker_main
+
+        parent_conn, child_conn = ctx.Pipe(duplex=True)
+        proc = ctx.Process(
+            target=worker_main,
+            args=(child_conn, i),
+            name=f"ppm-worker-{i}",
+            daemon=True,
+        )
+        proc.start()
+        child_conn.close()
+        if i < len(self._procs):
+            self._procs[i] = proc
+            self._conns[i] = parent_conn
+        else:
+            self._procs.append(proc)
+            self._conns.append(parent_conn)
+
     # ------------------------------------------------------------------
-    def roundtrip(self, tag: str, payload, *, per_worker=None):
+    def roundtrip(self, tag: str, payload, *, per_worker=None, supervised=True):
         """Send ``(tag, payload)`` to every live worker and return the
         list of their results (indexed by worker id; ``None`` for dead
         workers).  ``per_worker`` optionally overrides the payload per
         worker id.  Raises after draining every pending reply, so the
-        protocol stays in sync for the next command."""
+        protocol stays in sync for the next command.
+
+        Failure handling: a send error or closed pipe classifies the
+        worker as ``"crash"``, a reply overrunning the supervisor's
+        deadline as ``"hang"`` (the child is hard-killed so a stale
+        reply can never desynchronise the pipe), and a reply that fails
+        to deserialise as ``"corrupt-reply"``.  With a supervisor
+        attached (and ``supervised=True``) the failures are handed to
+        its recovery machinery and the recovered results spliced in;
+        otherwise a :class:`~repro.core.errors.WorkerDeathError`
+        (PPM603) names the workers, the failure kinds, the round and
+        the command."""
         if self._closed:
             raise ParallelExecutionError("worker pool is closed")
+        sup = self.supervisor if supervised else None
+        self._last_tag = tag
+        if tag == "round":
+            self._round_no += 1
+        failures: list[tuple[int, str]] = []
+        if sup is not None and self._dead:
+            # Workers that died on an unsupervised path (e.g. during a
+            # best-effort do_end) are recovered on the next supervised
+            # command instead of silently skipping it.
+            failures.extend((i, "crash") for i in sorted(self._dead))
         sent = []
         for i, conn in enumerate(self._conns):
             if i in self._dead:
@@ -124,14 +170,36 @@ class WorkerPool:
                 conn.send((tag, body))
             except (OSError, ValueError):
                 self._dead.add(i)
+                failures.append((i, "crash"))
                 continue
             sent.append(i)
+        if sup is not None:
+            sup.maybe_chaos(tag, sent)
+        deadline = sup.deadline_for(tag) if sup is not None else None
         replies: list = [None] * self.n_workers
         for i in sent:
             try:
+                if deadline is not None and not self._conns[i].poll(deadline):
+                    # Hung: hard-kill (SIGKILL — SIGTERM would stay
+                    # pending on a SIGSTOPped child) so no late reply
+                    # can ever desynchronise a reused pipe slot.
+                    self._dead.add(i)
+                    failures.append((i, "hang"))
+                    try:
+                        self._procs[i].kill()
+                    except OSError:  # pragma: no cover - raced exit
+                        pass
+                    continue
                 replies[i] = self._conns[i].recv()
             except (EOFError, OSError):
                 self._dead.add(i)
+                failures.append((i, "crash"))
+            except Exception:
+                # recv() deserialisation failure: the pipe returned
+                # bytes that do not unpickle.  The stream position is
+                # unknowable now, so the worker is retired.
+                self._dead.add(i)
+                failures.append((i, "corrupt-reply"))
         # All replies are drained; now surface failures.  A worker-side
         # KeyboardInterrupt wins (the user hit Ctrl-C; unwind as such).
         results: list = [None] * self.n_workers
@@ -149,23 +217,90 @@ class WorkerPool:
                 failure = _revive_exception(i, body)
         if failure is not None:
             raise failure
-        if self._dead:
+        if failures:
+            if sup is not None:
+                for w, rec in sup.recover(
+                    tag, payload, per_worker, failures
+                ).items():
+                    results[w] = rec
+            else:
+                dead = sorted(i for i, _kind in failures)
+                kinds = ", ".join(
+                    f"worker {i}: {kind}" for i, kind in sorted(failures)
+                )
+                raise WorkerDeathError(
+                    f"worker process(es) {dead} died unexpectedly during "
+                    f"{tag!r} (round {self._round_no}; {kinds}) — killed, "
+                    "hung past the deadline, or crashed without shipping "
+                    "an exception; without run_ppm(..., supervision=) the "
+                    "pool cannot continue"
+                )
+        elif self._dead:
             dead = sorted(self._dead)
-            raise ParallelExecutionError(
-                f"worker process(es) {dead} died unexpectedly (killed, or "
-                "crashed without shipping an exception); the pool cannot "
-                "continue"
+            raise WorkerDeathError(
+                f"worker process(es) {dead} died unexpectedly (last "
+                f"command {self._last_tag!r}, round {self._round_no}); "
+                "the pool cannot continue"
             )
         return results
 
     def best_effort(self, tag: str, payload) -> None:
         """Fire ``(tag, payload)`` and drain acks, swallowing every
         failure — used for ``do_end`` on teardown paths where the real
-        error is already propagating."""
+        error is already propagating.  Bypasses supervision: a teardown
+        must never recurse into recovery."""
         try:
-            self.roundtrip(tag, payload)
+            self.roundtrip(tag, payload, supervised=False)
         except BaseException:
             pass
+
+    # ------------------------------------------------------------------
+    # Single-worker traffic (crash recovery)
+    # ------------------------------------------------------------------
+    def send_one(self, w: int, tag: str, body) -> None:
+        """Send one command to one worker (recovery replay traffic)."""
+        self._conns[w].send((tag, body))
+
+    def recv_one(self, w: int, deadline: float | None = None):
+        """Receive one reply from one worker: the ``"ok"`` body, or the
+        revived exception / ``KeyboardInterrupt`` / ``TimeoutError`` on
+        deadline overrun."""
+        conn = self._conns[w]
+        if deadline is not None and not conn.poll(deadline):
+            raise TimeoutError(
+                f"worker {w} overran its {deadline:.1f}s reply deadline"
+            )
+        status, body = conn.recv()
+        if status == "ok":
+            return body
+        if status == "interrupt":
+            raise KeyboardInterrupt
+        raise _revive_exception(w, body)
+
+    def _reap(self, w: int) -> None:
+        """Retire worker ``w``'s process and pipe ahead of a respawn.
+        ``kill()`` (SIGKILL), not ``terminate()``: SIGTERM stays
+        pending on a SIGSTOPped child forever."""
+        try:
+            self._conns[w].close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+        proc = self._procs[w]
+        try:
+            proc.kill()
+            proc.join(timeout=5.0)
+        except (OSError, ValueError):  # pragma: no cover - already gone
+            pass
+        self._dead.add(w)
+
+    def _respawn(self, w: int) -> None:
+        """Fork a replacement for worker ``w`` from the live template
+        and run its init handshake; the slot leaves the dead set only
+        after the handshake succeeds."""
+        self._spawn(_start_context(), w)
+        self.send_one(w, "init", self._init_payload)
+        self.recv_one(w, 60.0)
+        self._dead.discard(w)
 
     # ------------------------------------------------------------------
     def close(self) -> None:

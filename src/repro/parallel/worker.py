@@ -245,16 +245,35 @@ class _WorkerDo:
         # the inline engine checks them.
         kind = cmd["kind"]
         hold = cmd.get("mode") == "hold"
+        # Replay mode (crash recovery): a respawned worker re-executes
+        # logged round commands to rebuild its generators' state.  The
+        # bodies run exactly as live rounds do — collectives resolve
+        # from the logged results, recorders are held when commanded —
+        # but nothing is *encoded*: the parent discarded the original
+        # replies long ago, and interning arrays into the report
+        # encoder here would leave later ``("r", iid)`` references
+        # dangling on the parent side.
+        replay = cmd.get("replay", False)
         nodes = [n for n in cmd["nodes"] if n in self.by_node]
         advanced = 0
         if kind == "global":
             body_vps = [vp for n in nodes for vp in self.by_node[n]]
             advanced += sum(1 for vp in body_vps if not vp.done)
-            flags = self._round_flags(body_vps, kind)
-            payload = {
-                "report": self._run_recorder(kind, body_vps, None, hold),
-                "flags": flags,
-            }
+            if replay:
+                self._run_recorder(kind, body_vps, None, hold, encode=False)
+                payload = {"replayed": True}
+            else:
+                flags = self._round_flags(body_vps, kind)
+                payload = {
+                    "report": self._run_recorder(kind, body_vps, None, hold),
+                    "flags": flags,
+                }
+        elif replay:
+            for node_id in nodes:
+                node_vps = self.by_node[node_id]
+                advanced += sum(1 for vp in node_vps if not vp.done)
+                self._run_recorder(kind, node_vps, node_id, hold, encode=False)
+            payload = {"replayed": True}
         else:
             reports = []
             for node_id in nodes:
@@ -304,10 +323,19 @@ class _WorkerDo:
             cert.round_zero_merge(vps, kind),
         )
 
-    def _run_recorder(self, kind: str, vps: list, node_key, hold: bool = False) -> dict:
+    def _run_recorder(
+        self,
+        kind: str,
+        vps: list,
+        node_key,
+        hold: bool = False,
+        encode: bool = True,
+    ) -> dict | None:
         """Advance the listed VPs under a fresh recorder; encode it.
         Under ``hold`` the recorder is retained for the parent's commit
-        command and the encoded report omits the operation stream."""
+        command and the encoded report omits the operation stream.
+        ``encode=False`` (crash-recovery replay) skips the report
+        entirely and returns None."""
         rt = self.rt
         recorder = PhaseRecorder(kind)
         rt.phase = recorder
@@ -327,6 +355,8 @@ class _WorkerDo:
         self.pending[node_key] = recorder.collective_slots
         if hold:
             self.held[node_key] = recorder
+        if not encode:
+            return None
         return self._encode(recorder, vp_states, include_ops=not hold)
 
     def _encode_ops(self, ops: list) -> list:
@@ -446,9 +476,38 @@ class _WorkerDo:
         a ``"local"`` decision commits the held recorder straight into
         the mapped segments and replies with a fixed-size digest, a
         ``"ship"`` decision falls back to encoding the operation stream
-        for the parent's ordinary merge-and-commit path."""
+        for the parent's ordinary merge-and-commit path.
+
+        Under ``restore=True`` (crash recovery: this worker replaced
+        one that died *inside* the commit window) the dead worker may
+        have partially applied its in-place ops to the post-swap
+        segments — fatal for accumulates, which are not idempotent.
+        Before re-applying, each local group's committed-row footprint
+        is copied from the retained pre-swap segment (the current
+        attachment, pristine) into the post-swap target, resetting
+        exactly this shard's rows; conflict-freedom certification
+        guarantees no other worker's rows are touched."""
+        restore = cmd.get("restore", False)
+        saved = []
+        if restore:
+            for node_key, decision in cmd["groups"]:
+                recorder = self.held.get(node_key)
+                if recorder is None or decision == "ship":
+                    continue
+                groups: dict = {}
+                for ev in recorder.write_ops:
+                    groups.setdefault((id(ev.shared), ev.instance), []).append(ev)
+                for evs in groups.values():
+                    sv = evs[0].shared
+                    instance = evs[0].instance
+                    pristine = sv._data if instance is None else sv._data[instance]
+                    rows = self._footprint((sv.name, instance), evs)
+                    saved.append((sv, instance, rows, pristine[rows].copy()))
         for name, instance, segment_name in cmd["remaps"]:
             self._rebind(self.proxies[name], instance, segment_name)
+        for sv, instance, rows, vals in saved:
+            target = sv._data if instance is None else sv._data[instance]
+            target[rows] = vals
         verify = cmd.get("verify", False)
         replies = []
         for node_key, decision in cmd["groups"]:

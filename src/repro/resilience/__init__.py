@@ -24,9 +24,15 @@ exercised:
 
 Recovered runs commit arrays bitwise-identical to a fault-free run
 (property-tested); with every knob off the hot path is untouched.
-Model and consistency argument: docs/RESILIENCE.md.  Chaos demo::
+Model and consistency argument: docs/RESILIENCE.md.  Chaos demos::
 
     python -m repro.resilience demo --small --check
+    python -m repro.resilience chaos --executor process --small --check
+
+``demo`` injects *simulated* faults; ``chaos`` SIGKILLs real worker
+processes under the supervised process executor
+(:class:`~repro.parallel.SupervisionPolicy`) and verifies
+respawn-and-replay recovery (docs/PARALLEL.md).
 """
 
 from repro.core.errors import (

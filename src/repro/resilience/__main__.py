@@ -1,24 +1,35 @@
-"""Chaos demo: run CG clean and under a seeded fault plan, compare.
+"""Chaos demos: run CG clean and under injected faults, compare.
 
 Usage::
 
-    python -m repro.resilience demo [--small] [--check] [--seed S]
-                                    [--nodes N] [--nx NX] [--iters K]
-                                    [--checkpoint-every C]
-                                    [--out RUN.trace.json]
+    python -m repro.resilience demo  [--small] [--check] [--seed S]
+                                     [--nodes N] [--nx NX] [--iters K]
+                                     [--checkpoint-every C]
+                                     [--out RUN.trace.json]
+    python -m repro.resilience chaos --executor process [--small]
+                                     [--check] [--seed S] [--nodes N]
+                                     [--nx NX] [--iters K] [--workers W]
+                                     [--every K] [--signal kill|stop]
 
-Runs the paper's CG application twice on the same simulated machine:
-once fault-free and once under a deterministic chaos plan (message
-drops, corruption, delays, duplicates, a straggler and a mid-run node
-crash) with phase-boundary checkpointing.  Prints both runs'
-simulated times, the resilience counters and the run report, and
-verifies the recovery-equivalence property: the committed solution of
-the chaotic run is bitwise-identical to the fault-free one.
+``demo`` exercises the *simulated* fault model: the paper's CG
+application runs twice on the same simulated machine, once fault-free
+and once under a deterministic chaos plan (message drops, corruption,
+delays, duplicates, a straggler and a mid-run node crash) with
+phase-boundary checkpointing.
 
-``--small`` shrinks the problem for CI smoke use; ``--check`` exits
-non-zero unless the equivalence check passes (it is also asserted by
-default — ``--check`` additionally demands that faults actually fired,
-guarding against a silently inert plan).
+``chaos`` exercises the *real-process* fault model: the CG application
+runs fault-free on the inline engine, then on the process executor
+with worker supervision while :class:`~repro.parallel.ProcessChaos`
+SIGKILLs (or SIGSTOPs) live worker processes at round boundaries.  The
+supervisor respawns and replays each victim; the run must finish with
+committed arrays and simulated times bitwise-identical to inline.
+
+Both subcommands print the two runs' simulated times, the relevant
+counters and the run report, and verify the recovery-equivalence
+property.  ``--small`` shrinks the problem for CI smoke use;
+``--check`` exits non-zero unless the equivalence check passes (it is
+also asserted by default — ``--check`` additionally demands that
+faults actually fired, guarding against a silently inert plan).
 
 Exit status: 0 on success, 1 on a failed check, 2 on usage errors.
 """
@@ -118,6 +129,90 @@ def cmd_demo(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_chaos(args: argparse.Namespace) -> int:
+    # Imported lazily so --help stays scipy-free.
+    from repro.apps.cg import build_chimney_problem, ppm_cg_solve
+    from repro.config import franklin
+    from repro.machine import Cluster
+    from repro.obs import PhaseTrace, RunReport, format_report
+    from repro.parallel import ProcessChaos, SupervisionPolicy
+    from repro.parallel.supervisor import LAST_SUPERVISION
+
+    if args.executor != "process":
+        print(
+            f"chaos: unsupported --executor {args.executor!r} "
+            "(only 'process' spawns real workers to kill)",
+            file=sys.stderr,
+        )
+        return 2
+    if args.small:
+        args.nodes = min(args.nodes, 2)
+        args.nx = min(args.nx, 4)
+        args.iters = min(args.iters, 6)
+        args.workers = min(args.workers, 2)
+
+    problem = build_chimney_problem(args.nx)
+
+    clean, t_clean = ppm_cg_solve(
+        problem,
+        Cluster(franklin(n_nodes=args.nodes)),
+        max_iters=args.iters,
+        tol=0.0,
+    )
+
+    chaos = ProcessChaos(seed=args.seed, every=args.every, signal=args.signal)
+    trace = PhaseTrace()
+    chaotic, t_chaos = ppm_cg_solve(
+        problem,
+        Cluster(franklin(n_nodes=args.nodes)),
+        max_iters=args.iters,
+        tol=0.0,
+        trace=trace,
+        executor="process",
+        workers=args.workers,
+        supervision=SupervisionPolicy(chaos=chaos),
+    )
+    sup = dict(LAST_SUPERVISION)
+
+    identical = np.array_equal(clean.x, chaotic.x) and t_clean == t_chaos
+    report = RunReport.from_trace(trace)
+
+    print(
+        f"CG on {args.nodes} nodes, {args.iters} iterations, "
+        f"{args.workers} workers (chaos seed {args.seed}, "
+        f"{args.signal} every {args.every} rounds)"
+    )
+    print(f"  inline fault-free : {t_clean * 1e3:9.3f} ms simulated")
+    print(f"  process + chaos   : {t_chaos * 1e3:9.3f} ms simulated")
+    print(
+        f"  worker failures: {sup.get('crashes', 0)} crash, "
+        f"{sup.get('hangs', 0)} hang   respawns: {sup.get('respawns', 0)}   "
+        f"replayed rounds: {sup.get('replayed_rounds', 0)}"
+    )
+    print(f"  bitwise-identical solution and clock: {identical}")
+    print()
+    print(format_report(report))
+
+    if not identical:
+        print(
+            "FAIL: supervised chaotic run diverged from the inline run",
+            file=sys.stderr,
+        )
+        return 1
+    if args.check:
+        fired = sup.get("crashes", 0) + sup.get("hangs", 0) > 0
+        recovered = sup.get("respawns", 0) > 0
+        if not (fired and recovered):
+            print(
+                "FAIL: --check expects worker kills and respawns, "
+                f"got {sup!r}",
+                file=sys.stderr,
+            )
+            return 1
+        print("check passed: workers died, supervisor recovered, results identical")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.resilience",
@@ -145,6 +240,36 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_demo.add_argument("--out", help="write the ppm-trace JSON here")
     p_demo.set_defaults(func=cmd_demo)
+
+    p_chaos = sub.add_parser(
+        "chaos",
+        help="SIGKILL real worker processes mid-run and verify recovery",
+    )
+    p_chaos.add_argument(
+        "--executor", default="process",
+        help="execution backend to attack (only 'process' is supported)",
+    )
+    p_chaos.add_argument("--seed", type=int, default=7, help="chaos seed")
+    p_chaos.add_argument("--nodes", type=int, default=4)
+    p_chaos.add_argument("--nx", type=int, default=8, help="grid edge (nx*nx*2nx rows)")
+    p_chaos.add_argument("--iters", type=int, default=10)
+    p_chaos.add_argument("--workers", type=int, default=2)
+    p_chaos.add_argument(
+        "--every", type=int, default=3, metavar="K",
+        help="kill a worker on every K-th round dispatch (default 3)",
+    )
+    p_chaos.add_argument(
+        "--signal", choices=["kill", "stop"], default="kill",
+        help="kill=SIGKILL (crash), stop=SIGSTOP (hang)",
+    )
+    p_chaos.add_argument(
+        "--small", action="store_true", help="shrink for CI smoke use"
+    )
+    p_chaos.add_argument(
+        "--check", action="store_true",
+        help="exit non-zero unless workers died, respawned and results match",
+    )
+    p_chaos.set_defaults(func=cmd_chaos)
     return parser
 
 

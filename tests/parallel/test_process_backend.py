@@ -94,29 +94,39 @@ class TestConfigErrors:
         with pytest.raises(ParallelConfigError):
             run_ppm(main_mixed, _cluster(), workers=0)
 
-    @pytest.mark.parametrize(
-        "kwargs",
-        [
-            {"vp_executor": "threads"},
-            {"checkpoint_every": 2},
-        ],
-    )
-    def test_unsupported_combos_ppm503(self, kwargs):
-        with pytest.raises(ParallelConfigError) as ei:
-            run_ppm(main_mixed, _cluster(), executor="process", **kwargs)
-        assert ei.value.code == "PPM503"
-
-    def test_resilience_policy_ppm503(self):
-        from repro.resilience import ResiliencePolicy
-
+    def test_vp_threads_combo_ppm503(self):
         with pytest.raises(ParallelConfigError) as ei:
             run_ppm(
-                main_mixed,
-                _cluster(),
-                executor="process",
-                resilience=ResiliencePolicy(),
+                main_mixed, _cluster(), executor="process",
+                vp_executor="threads",
             )
         assert ei.value.code == "PPM503"
+
+    def test_supervision_requires_process_ppm602(self):
+        from repro.parallel import SupervisionPolicy
+
+        with pytest.raises(ParallelConfigError) as ei:
+            run_ppm(main_mixed, _cluster(), supervision=SupervisionPolicy())
+        assert ei.value.code == "PPM602"
+
+    def test_resilience_now_supported(self):
+        # Lifted restriction (formerly PPM503): the resilience
+        # subsystem composes with the process executor — simulated
+        # faults and checkpoints run parent-side, and recovery
+        # re-executes the driver, which re-ships the kernel to a fresh
+        # worker pool.
+        from repro.resilience import FaultPlan
+
+        plan = lambda: FaultPlan(seed=5).crash(node=1, phase=2)  # noqa: E731
+        _, r1 = run_ppm(
+            main_mixed, _cluster(), faults=plan(), checkpoint_every=2,
+        )
+        _, r2 = run_ppm(
+            main_mixed, _cluster(), faults=plan(), checkpoint_every=2,
+            executor="process", workers=2,
+        )
+        for a, b in zip(r1, r2):
+            np.testing.assert_array_equal(a, b)
 
     def test_sanitize_auto_now_supported(self):
         # Lifted restriction: workers rebuild the conflict-freedom

@@ -141,6 +141,89 @@ def clean_kernel(ctx, A):
     yield ctx.global_phase
 
 
+def write_then_interrupt_kernel(ctx, A):
+    """Commits A[rank] = rank + 1 at the first barrier, then buffers a
+    poison write that an interrupt must prevent from ever committing."""
+    yield ctx.global_phase
+    A[ctx.global_rank] = float(ctx.global_rank + 1)
+    yield ctx.global_phase  # barrier: the writes above commit here
+    A[ctx.global_rank] = 99.0  # buffered only — must never commit
+    if ctx.global_rank == 2:
+        raise KeyboardInterrupt
+    yield ctx.global_phase
+
+
+# ----------------------------------------------------------------------
+# Interrupt mid-round: commit atomicity and orphan-free teardown
+# ----------------------------------------------------------------------
+
+def _no_child_processes(deadline=5.0):
+    import multiprocessing
+    import time
+
+    end = time.monotonic() + deadline
+    while time.monotonic() < end:
+        if not multiprocessing.active_children():  # also reaps zombies
+            return True
+        time.sleep(0.05)
+    return False
+
+
+class TestInterruptMidRound:
+    """A ctrl-C arriving mid-round must behave like a phase-boundary
+    cut: earlier barriers' commits stand, the interrupted round's
+    buffered writes vanish, every worker process is reaped and no
+    ``/dev/shm`` segment survives."""
+
+    def _observed(self, **run_opts):
+        boxes = []
+
+        def main(ppm):
+            A = ppm.global_shared("A", 16)
+            try:
+                ppm.do(8, write_then_interrupt_kernel, A)
+            finally:
+                boxes.append(A.committed.copy())
+
+        with pytest.raises(KeyboardInterrupt):
+            run_ppm(main, _cluster(), **run_opts)
+        return boxes[0]
+
+    def test_no_partial_commit_matches_inline(self):
+        inline = self._observed()
+        proc = self._observed(executor="process", workers=2)
+        np.testing.assert_array_equal(inline, proc)
+        # The first barrier's writes committed; the poisoned round's
+        # buffered 99s did not.
+        np.testing.assert_array_equal(
+            proc[:8], np.arange(1.0, 9.0)
+        )
+        assert not (proc == 99.0).any()
+        assert live_ppm_segments() == []
+
+    def test_no_orphaned_children_or_segments(self):
+        self._observed(executor="process", workers=3)
+        assert _no_child_processes()
+        assert live_ppm_segments() == []
+
+    def test_interrupt_under_supervision_not_retried(self):
+        # A KeyboardInterrupt ships back as an ordinary exception
+        # reply: the supervisor must not classify it as a crash and
+        # burn the respawn budget replaying the interrupted round.
+        from repro.parallel import SupervisionPolicy
+        from repro.parallel.supervisor import LAST_SUPERVISION
+
+        proc = self._observed(
+            executor="process", workers=2,
+            supervision=SupervisionPolicy(),
+        )
+        assert not (proc == 99.0).any()
+        assert LAST_SUPERVISION["crashes"] == 0
+        assert LAST_SUPERVISION["respawns"] == 0
+        assert _no_child_processes()
+        assert live_ppm_segments() == []
+
+
 # ----------------------------------------------------------------------
 # Idempotent segment release
 # ----------------------------------------------------------------------
