@@ -20,6 +20,7 @@ Two complementary layers over the same :class:`Diagnostic` type:
 See :mod:`repro.analysis.diagnostics` for the rule table.
 """
 
+from repro.analysis.bounds import check_bounds_and_shapes, extent_groups
 from repro.analysis.diagnostics import SEVERITIES, Diagnostic
 from repro.analysis.lint import (
     build_module_model,
@@ -28,16 +29,21 @@ from repro.analysis.lint import (
     lint_paths,
     lint_source,
 )
+from repro.analysis.liveness import LivenessPlan, analyze_liveness
 from repro.analysis.rules import ALL_RULES, RULES_BY_ID
 from repro.analysis.sanitizer import PhaseSanitizer
 
 __all__ = [
     "ALL_RULES",
     "Diagnostic",
+    "LivenessPlan",
     "PhaseSanitizer",
     "RULES_BY_ID",
     "SEVERITIES",
+    "analyze_liveness",
     "build_module_model",
+    "check_bounds_and_shapes",
+    "extent_groups",
     "iter_python_files",
     "lint_file",
     "lint_paths",

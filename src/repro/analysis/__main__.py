@@ -3,18 +3,21 @@
 Usage::
 
     python -m repro.analysis [--strict] [--json] [--list-rules] PATH...
-    python -m repro.analysis verify [--strict] [--json]
-                                    [--sarif FILE] [--baseline FILE]
+    python -m repro.analysis verify [--strict] [--json | --sarif FILE]
+                                    [--baseline FILE]
                                     [--write-baseline FILE] PATH...
     python -m repro.analysis --explain PPM401
+    python -m repro.analysis --list-codes
 
 The bare form runs the AST lint pass (rules PPM1xx).  ``verify`` runs
 lint *plus* the symbolic dataflow verifier (rules PPM4xx,
 docs/ANALYSIS.md) and prints a per-kernel certificate summary;
-``--sarif`` writes a SARIF 2.1.0 log, ``--baseline`` suppresses
-previously accepted findings and ``--write-baseline`` records the
-current findings as that file.  ``--explain`` prints the rule's
-docs/DIAGNOSTICS.md section.
+``--sarif`` writes a SARIF 2.1.0 log (mutually exclusive with
+``--json``), ``--baseline`` suppresses previously accepted findings
+and ``--write-baseline`` records the current findings as that file.
+``--explain`` prints the rule's docs/DIAGNOSTICS.md section;
+``--list-codes`` prints every registered PPM code with its one-line
+summary.
 
 Exit status: 0 when no error-severity finding was produced (warnings
 alone do not fail the run unless ``--strict``), 1 when findings fail
@@ -53,11 +56,20 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="treat warnings as failures (nonzero exit on any finding)",
     )
-    parser.add_argument(
+    output = parser.add_mutually_exclusive_group()
+    output.add_argument(
         "--json",
         action="store_true",
         dest="as_json",
         help="emit findings as a JSON object instead of text lines",
+    )
+    output.add_argument(
+        "--sarif",
+        metavar="FILE",
+        help=(
+            "(verify) write findings as a SARIF 2.1.0 log "
+            "(not combinable with --json)"
+        ),
     )
     parser.add_argument(
         "--list-rules",
@@ -65,14 +77,15 @@ def _build_parser() -> argparse.ArgumentParser:
         help="print the registered rules and exit",
     )
     parser.add_argument(
+        "--list-codes",
+        action="store_true",
+        dest="list_codes",
+        help="print every registered PPM code with its summary and exit",
+    )
+    parser.add_argument(
         "--explain",
         metavar="PPMxxx",
         help="print the rule's docs/DIAGNOSTICS.md section and exit",
-    )
-    parser.add_argument(
-        "--sarif",
-        metavar="FILE",
-        help="(verify) write findings as a SARIF 2.1.0 log",
     )
     parser.add_argument(
         "--baseline",
@@ -238,11 +251,16 @@ def main(argv: list[str] | None = None) -> int:
         print(text, end="")
         return 0
 
+    if args.list_codes:
+        for code in sorted(ALL_CODES):
+            print(f"{code}  {ALL_CODES[code]}")
+        return 0
+
     if args.list_rules:
         for rule in ALL_RULES:
             print(f"{rule.rule_id}  [{rule.severity:7s}]  {rule.summary}")
         if verify:
-            for code in ("PPM401", "PPM402", "PPM403", "PPM404"):
+            for code in sorted(c for c in ALL_CODES if c.startswith("PPM4")):
                 print(f"{code}  [dataflow]  {ALL_CODES[code]}")
         return 0
 

@@ -1,0 +1,296 @@
+"""Interprocedural bounds & shape verification (PPM406–PPM408).
+
+Runs over the access summaries the dataflow interpreter collected and
+proves — or fails to prove — that every indexed shared-array access
+stays inside the array's declared axis-0 extent, and that the values a
+phase writes are shape/dtype-compatible with their downstream readers.
+
+The extent of a shared array enters the domain as the ``("extent",
+pk)`` atom of :mod:`repro.analysis.summaries`, with two axioms: an
+extent is non-negative, and a node block always lies inside its array
+(``extent >= nodehi >= nodelo``).  When the declaration names a
+literal size the extent is additionally a known constant.
+
+**Extent groups.**  Kernels routinely index one array with another's
+``local_range`` bounds (CG drives ``rs``/``ps``/``qs`` with
+``xs.local_range``; Barnes-Hut drives ``VEL``/``ACC`` with ``POSM``'s
+block).  That is sound exactly when the arrays share an axis-0 size,
+which the lint layer records as the declaration's normalized size
+expression (:attr:`repro.analysis.lint.SharedVar.size_expr`).  Shared
+parameters with an identical size expression form one *extent group*:
+their ``nodelo``/``nodehi``/``extent`` atoms are canonicalized to a
+single representative before proving, so cross-array bounds discharge
+against the same fence.
+
+Diagnostics:
+
+* **PPM406** (error) — the access is provably out of bounds, with a
+  concrete witness rank (rank 0, which always exists);
+* **PPM407** (warning) — a bound could not be proven *and* the failing
+  expression lies entirely in the chunk algebra (constants, node-block
+  bounds, split bounds over chunk-algebra spans, extents, max/min), so
+  a proof should have been possible — the expression is named;
+* **PPM408** (error) — a phase writes a value whose row width or dtype
+  is provably incompatible with a downstream reader of the same shared
+  array (checked along the RAW edges of the cross-phase dependence
+  graph).
+
+Accesses whose bounds involve opaque program symbols (problem sizes,
+driver-computed offsets) are reported neither way: the caller contract
+is that declared extents match the driver's problem geometry, and the
+verifier cannot see the driver.  Bare ``X[ctx.rank]`` point accesses
+are exempt by the same convention — the VP count is chosen by the
+driver to fit the array.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.lint import FunctionModel
+from repro.analysis.summaries import (
+    SET_TOP,
+    SET_WHOLE,
+    AccessSummary,
+    fmt_sym,
+    is_const,
+    iset_bounds,
+    le,
+    s_add,
+    s_const,
+    s_extent,
+    s_rank,
+    s_sub,
+    subst,
+    _walk_tuples,
+)
+
+__all__ = ["check_bounds_and_shapes", "extent_groups"]
+
+
+def extent_groups(fn: FunctionModel) -> dict[str, str]:
+    """Map each non-container shared parameter to its extent-group
+    representative (parameters declared with the same normalized size
+    expression share one representative)."""
+    by_size: dict[str, list[str]] = {}
+    for name, sv in sorted(fn.shared_params.items()):
+        if sv.container or sv.size_expr is None:
+            continue
+        by_size.setdefault(sv.size_expr, []).append(name)
+    alias: dict[str, str] = {}
+    for members in by_size.values():
+        rep = members[0]
+        for m in members:
+            alias[m] = rep
+    return alias
+
+
+def _canon(v, alias: dict[str, str]):
+    """Rewrite nodelo/nodehi/extent atoms onto group representatives."""
+    mapping = {}
+    for t in _walk_tuples(v):
+        if (
+            isinstance(t, tuple)
+            and len(t) == 2
+            and t[0] in ("nodelo", "nodehi", "extent")
+            and isinstance(t[1], tuple)
+            and t[1]
+            and t[1][0] in alias
+            and alias[t[1][0]] != t[1][0]
+        ):
+            mapping[t] = (t[0], (alias[t[1][0]],) + tuple(t[1][1:]))
+    return subst(v, mapping) if mapping else v
+
+
+def _chunk_algebra(v) -> bool:
+    """Is every atom of ``v`` in the decidable chunk algebra?  Opaque
+    symbols and ranks disqualify (their magnitude is a caller
+    contract, not a provable fact)."""
+    for t in _walk_tuples(v):
+        if isinstance(t, tuple) and t and t[0] in (
+            "sym", "nodesym", "rank", "top"
+        ):
+            return False
+    return True
+
+
+def _bounds_diag(rule, severity, message, path, access, seg, kind):
+    return Diagnostic(
+        tool="dataflow",
+        rule=rule,
+        severity=severity,
+        message=message,
+        path=path,
+        line=access.lineno,
+        phase_index=seg if seg >= 0 else None,
+        phase_kind=kind,
+        variable=access.variable,
+        expr=access.expr,
+    )
+
+
+_RANK_ZERO = {s_rank("global"): s_const(0), s_rank("node"): s_const(0)}
+
+
+def _check_access(
+    access: AccessSummary, sv, alias, seg, kind, path
+) -> Diagnostic | None:
+    iset = access.iset
+    if iset[0] in ("topset", "whole"):
+        return None
+    # Bare rank-indexed point access: the driver picks the VP count to
+    # fit the array — exempt by convention.
+    if iset == ("pt", s_rank("global")) or iset == ("pt", s_rank("node")):
+        return None
+    bounds = iset_bounds(iset)
+    if bounds is None:
+        return None
+    lo, hi = (_canon(b, alias) for b in bounds)
+    rep = alias.get(access.variable, access.variable)
+    pk = (rep, repr(access.obj_index))
+    extent_atom = s_extent(pk)
+    extent_const = None if sv is None or sv.container else sv.extent
+
+    lo_ok = le(s_const(0), lo)
+    hi_ok = le(hi, extent_atom) or (
+        extent_const is not None and le(hi, s_const(extent_const))
+    )
+    if lo_ok and hi_ok:
+        return None
+
+    # Provable violation with a concrete witness: a point access, no
+    # guards (so rank 0 executes it), whose index at rank 0 folds to a
+    # constant outside the array.
+    if iset[0] == "pt" and not access.guards and access.obj_index is None:
+        w = subst(_canon(iset[1], alias), _RANK_ZERO)
+        oob = None
+        if is_const(w):
+            if w[1] < 0:
+                oob = f"index {w[1]} < 0"
+            elif extent_const is not None and w[1] >= extent_const:
+                oob = f"index {w[1]} >= extent {extent_const}"
+        if oob is not None:
+            return _bounds_diag(
+                "PPM406", "error",
+                f"access `{access.expr}` is provably out of bounds for "
+                f"{access.variable!r}: at VP rank 0, {oob}",
+                path, access, seg, kind,
+            )
+
+    # Unprovable but decidable-in-principle: the failing bound lives
+    # entirely in the chunk algebra, so a proof should exist — warn
+    # and name the expression.
+    failing = []
+    if not lo_ok and _chunk_algebra(lo):
+        failing.append(f"lower bound {fmt_sym(lo)} >= 0")
+    has_fence = extent_const is not None or (
+        sv is not None and not sv.container
+    )
+    if is_const(hi) and extent_const is None:
+        # A constant index against a symbolic extent is the caller's
+        # contract (the driver sizes the array); nothing to prove.
+        has_fence = False
+    if not hi_ok and _chunk_algebra(hi) and has_fence:
+        fence = (
+            str(extent_const)
+            if extent_const is not None
+            else fmt_sym(extent_atom)
+        )
+        failing.append(f"upper bound {fmt_sym(hi)} <= {fence}")
+    if failing:
+        return _bounds_diag(
+            "PPM407", "warning",
+            f"cannot prove access `{access.expr}` in bounds for "
+            f"{access.variable!r}: unprovable " + " and ".join(failing),
+            path, access, seg, kind,
+        )
+    return None
+
+
+def _check_shapes(fn: FunctionModel, summary, path) -> list[Diagnostic]:
+    diags: list[Diagnostic] = []
+    raw_vars = {e.variable for e in summary.edges if e.kind == "RAW"}
+    writes_by_var: dict[str, list] = {}
+    for seg, phase in enumerate(summary.phases):
+        for a in phase.accesses:
+            if a.kind == "write":
+                writes_by_var.setdefault(a.variable, []).append(
+                    (seg, phase.kind, a)
+                )
+    for var in sorted(writes_by_var):
+        if var not in raw_vars:
+            continue
+        sv = fn.shared_params.get(var)
+        writes = writes_by_var[var]
+        # (a) value width vs the written slice's own length
+        for seg, kind, a in writes:
+            if a.value_width is None or is_const(a.value_width, 1):
+                continue
+            if a.iset[0] != "iv":
+                continue
+            target_len = s_sub(a.iset[2], a.iset[1])
+            w = a.value_width
+            strict = le(s_add(w, s_const(1)), target_len) or le(
+                s_add(target_len, s_const(1)), w
+            )
+            if strict:
+                diags.append(_bounds_diag(
+                    "PPM408", "error",
+                    f"write `{a.expr}` assigns a value of length "
+                    f"{fmt_sym(w)} to {fmt_sym(target_len)} rows of "
+                    f"{var!r}; a downstream phase reads the result",
+                    path, a, seg, kind,
+                ))
+        # (b) inconsistent row widths across phases feeding one reader
+        widthy = [
+            (seg, kind, a)
+            for seg, kind, a in writes
+            if a.value_width is not None and not is_const(a.value_width, 1)
+        ]
+        for i in range(len(widthy)):
+            for j in range(i + 1, len(widthy)):
+                w1, w2 = widthy[i][2].value_width, widthy[j][2].value_width
+                if widthy[i][0] == widthy[j][0]:
+                    continue
+                if le(s_add(w1, s_const(1)), w2) or le(
+                    s_add(w2, s_const(1)), w1
+                ):
+                    seg, kind, a = widthy[j]
+                    other = widthy[i][2]
+                    diags.append(_bounds_diag(
+                        "PPM408", "error",
+                        f"phases write rows of provably different "
+                        f"lengths to {var!r} ({fmt_sym(w1)} at line "
+                        f"{other.lineno} vs {fmt_sym(w2)} at line "
+                        f"{a.lineno}); a downstream phase reads the "
+                        "result",
+                        path, a, seg, kind,
+                    ))
+        # (c) float value into an int-dtyped array
+        if sv is not None and sv.dtype == "int":
+            for seg, kind, a in writes:
+                if a.value_float:
+                    diags.append(_bounds_diag(
+                        "PPM408", "error",
+                        f"write `{a.expr}` stores a floating-point "
+                        f"value into int-dtyped {var!r}; a downstream "
+                        "phase reads the truncated result",
+                        path, a, seg, kind,
+                    ))
+    return diags
+
+
+def check_bounds_and_shapes(
+    fn: FunctionModel, summary, path: str
+) -> list[Diagnostic]:
+    """Bounds-verify (PPM406/PPM407) and shape-check (PPM408) one
+    kernel's collected access summaries."""
+    diags: list[Diagnostic] = []
+    alias = extent_groups(fn)
+    for seg, phase in enumerate(summary.phases):
+        for access in phase.accesses:
+            sv = fn.shared_params.get(access.variable)
+            d = _check_access(access, sv, alias, seg, phase.kind, path)
+            if d is not None:
+                diags.append(d)
+    diags.extend(_check_shapes(fn, summary, path))
+    return diags

@@ -41,6 +41,7 @@ from __future__ import annotations
 
 import ast
 from bisect import bisect_right
+from dataclasses import replace
 
 from repro.analysis.diagnostics import Diagnostic
 from repro.analysis.lint import FunctionModel, _yield_kind, build_module_model
@@ -152,6 +153,7 @@ class KernelInterp:
         self.yield_lines = sorted(y.lineno for y in fn.yields)
         self._loops: list[dict] = []  # enclosing loop records
         self._fresh = 0
+        self._meta: dict[str, tuple] = {}  # name -> (width, is_float)
 
     # -- plumbing ------------------------------------------------------
     def fresh(self, key, cls: int):
@@ -339,6 +341,17 @@ class KernelInterp:
             if value_node is None:  # bare annotation
                 return
             value = self.eval(value_node, env, guards, record, stmt)
+        if isinstance(stmt, ast.AugAssign):
+            if isinstance(stmt.target, ast.Name):
+                w0, f0 = self._meta.get(stmt.target.id, (None, False))
+                _w, f1 = self.value_meta(stmt.value, env)
+                self._meta[stmt.target.id] = (
+                    w0, f0 or f1 or isinstance(stmt.op, ast.Div)
+                )
+        else:
+            for target in targets:
+                if isinstance(target, ast.Name):
+                    self._meta[target.id] = self.value_meta(value_node, env)
         for target in targets:
             self.bind(target, value, env, guards, record, stmt,
                       aug=isinstance(stmt, ast.AugAssign))
@@ -382,9 +395,14 @@ class KernelInterp:
                     )
                 ):
                     vs = value
+                vw, vf = None, False
+                if not aug and isinstance(
+                    stmt, (ast.Assign, ast.AnnAssign)
+                ) and getattr(stmt, "value", None) is not None:
+                    vw, vf = self.value_meta(stmt.value, env)
                 self.record(
                     "write", name, obj_idx, kind, iset, target, stmt, guards,
-                    record, value_sym=vs,
+                    record, value_sym=vs, value_width=vw, value_float=vf,
                 )
             else:
                 self.eval_index(target.slice, env, guards, record, stmt)
@@ -1067,6 +1085,79 @@ class KernelInterp:
                         )
         return SET_TOP
 
+    # -- value shape/dtype metadata (PPM408) ---------------------------
+    def value_meta(self, node, env) -> tuple:
+        """``(width, is_float)`` of an RHS expression: the symbolic
+        axis-0 length of the value when statically known, and whether
+        the value is provably floating-point (float constants and true
+        division only — everything else stays unknown)."""
+        if isinstance(node, ast.Constant):
+            return None, isinstance(node.value, float)
+        if isinstance(node, ast.Name):
+            got = self._meta.get(node.id)
+            if got is not None:
+                return got
+            v = env.get(node.id)
+            if isinstance(v, tuple) and v and v[0] == "arr" and v[3]:
+                return s_sub(v[2], v[1]), False
+            return None, False
+        if isinstance(node, ast.Subscript):
+            _w, base_f = self.value_meta(node.value, env)
+            slc = node.slice
+            if isinstance(slc, ast.Tuple) and slc.elts:
+                slc = slc.elts[0]
+            if isinstance(slc, ast.Slice) and slc.step is None:
+                lo = (
+                    s_const(0)
+                    if slc.lower is None
+                    else self.eval(slc.lower, env, (), False, node)
+                )
+                hi = (
+                    None
+                    if slc.upper is None
+                    else self.eval(slc.upper, env, (), False, node)
+                )
+                if (
+                    hi is not None
+                    and _is_sym(lo)
+                    and _is_sym(hi)
+                    and not (is_const(lo) and lo[1] < 0)
+                    and not (is_const(hi) and hi[1] < 0)
+                ):
+                    return s_sub(hi, lo), base_f
+            return None, base_f
+        if isinstance(node, ast.BinOp):
+            wl, fl = self.value_meta(node.left, env)
+            wr, fr = self.value_meta(node.right, env)
+            w = wl if wr is None else wr if wl is None else (
+                wl if wl == wr else None
+            )
+            return w, fl or fr or isinstance(node.op, ast.Div)
+        if isinstance(node, ast.UnaryOp):
+            return self.value_meta(node.operand, env)
+        if isinstance(node, ast.Call):
+            dotted = _dotted_name(node.func)
+            tail = dotted.split(".")[-1] if dotted else None
+            if tail in ("zeros", "ones", "empty", "full") and node.args:
+                size = node.args[0]
+                if isinstance(size, ast.Tuple) and size.elts:
+                    size = size.elts[0]
+                v = self.eval(size, env, (), False, node)
+                return (v if _is_sym(v) and v != TOP else None), False
+            if tail == "arange" and node.args:
+                vals = [
+                    self.eval(a, env, (), False, node)
+                    for a in node.args[:2]
+                ]
+                if len(vals) == 1:
+                    vals = [s_const(0), vals[0]]
+                if all(_is_sym(v) for v in vals):
+                    return s_sub(vals[1], vals[0]), False
+            if tail == "float" and isinstance(node.func, ast.Name):
+                return None, True
+            return None, False
+        return None, False
+
     # -- shared resolution & access recording --------------------------
     def _as_shared(self, v):
         if isinstance(v, tuple) and v:
@@ -1078,7 +1169,7 @@ class KernelInterp:
 
     def record(
         self, kind, name, obj_idx, var_kind, iset, node, stmt, guards,
-        record, op=None, value_sym=None,
+        record, op=None, value_sym=None, value_width=None, value_float=False,
     ) -> None:
         if not record:
             return
@@ -1095,6 +1186,8 @@ class KernelInterp:
                 guards=guards,
                 expr=_index_text(node),
                 value_sym=value_sym,
+                value_width=value_width,
+                value_float=value_float,
             )
         )
 
@@ -1191,6 +1284,7 @@ def _objects_distinct(a: AccessSummary, b: AccessSummary) -> bool:
 
 def _diag(
     rule, severity, message, path, access: AccessSummary, seg: int, kind,
+    kernel=None,
 ) -> Diagnostic:
     return Diagnostic(
         tool="dataflow",
@@ -1202,11 +1296,20 @@ def _diag(
         phase_index=seg if seg >= 0 else None,
         phase_kind=kind,
         variable=access.variable,
+        expr=access.expr,
+        kernel=kernel,
     )
 
 
-def analyze_function(fn: FunctionModel, path: str) -> tuple[list, KernelSummary]:
-    """Verify one PPM function; returns (diagnostics, summary)."""
+def analyze_function(
+    fn: FunctionModel, path: str, resolve_callee=None
+) -> tuple[list, KernelSummary]:
+    """Verify one PPM function; returns (diagnostics, summary).
+
+    ``resolve_callee`` optionally maps a called function's name to its
+    ``ast.FunctionDef`` so the liveness pass can analyze helper effects
+    interprocedurally (same-module statically, or through the live
+    ``__globals__`` when certifying a real function object)."""
     interp = KernelInterp(fn, path)
     try:
         interp.run()
@@ -1251,6 +1354,24 @@ def analyze_function(fn: FunctionModel, path: str) -> tuple[list, KernelSummary]
 
     summary.phases = [segments[i] for i in sorted(segments)]
     summary.edges = _dependence_edges(summary.phases)
+
+    from repro.analysis.bounds import check_bounds_and_shapes
+    from repro.analysis.liveness import analyze_liveness
+
+    diags.extend(check_bounds_and_shapes(fn, summary, path))
+    plan, live_diags = analyze_liveness(
+        fn, summary, path, resolve_callee=resolve_callee
+    )
+    summary.liveness = plan
+    diags.extend(live_diags)
+    diags = [
+        replace(d, kernel=fn.name) if d.kernel is None else d for d in diags
+    ]
+    for phase in summary.phases:
+        phase.blockers = [
+            replace(d, kernel=fn.name) if d.kernel is None else d
+            for d in phase.blockers
+        ]
     return diags, summary
 
 
@@ -1453,12 +1574,17 @@ def analyze_module(source: str, path: str = "<source>"):
     are skipped (the lint layer reports those separately).
     """
     model = build_module_model(source, path)
+    module_defs = {
+        n.name: n
+        for n in ast.walk(model.tree)
+        if isinstance(n, ast.FunctionDef)
+    }
     diags: list[Diagnostic] = []
     summaries: list[KernelSummary] = []
     for fn in model.functions:
         if not fn.shared_params:
             continue
-        d, s = analyze_function(fn, path)
+        d, s = analyze_function(fn, path, resolve_callee=module_defs.get)
         diags.extend(d)
         summaries.append(s)
     diags.sort(key=lambda d: (d.path or "", d.line or 0, d.rule))

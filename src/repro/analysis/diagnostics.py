@@ -33,6 +33,16 @@ PPM403     accumulate-operator mismatch on overlapping index sets
            (dataflow verifier)
 PPM404     unanalyzable access — the index expression escapes the
            affine domain, so disjointness is unprovable (dataflow)
+PPM406     provable out-of-bounds shared-array access, with a concrete
+           witness rank (bounds verifier)
+PPM407     shared-array access bound unprovable against the declared
+           extent (bounds verifier, warning)
+PPM408     phase writes a shape/dtype incompatible with a downstream
+           reader on the cross-phase dependence graph
+PPM409     dead write: value provably overwritten before any snapshot
+           read (liveness, warning)
+PPM410     liveness unanalyzable; snapshot-pruning plan degrades to
+           copy-everything (liveness, warning)
 =========  ============================================================
 
 Each rule id anchors a section of docs/DIAGNOSTICS.md (e.g.
@@ -70,6 +80,11 @@ ALL_CODES: dict[str, str] = {
     "PPM403": "accumulate-operator mismatch on overlapping rows",
     "PPM404": "index expression escapes the affine domain",
     "PPM405": "do() callee could not be resolved statically",
+    "PPM406": "provable out-of-bounds access with a witness rank",
+    "PPM407": "access bound unprovable against the declared extent",
+    "PPM408": "shape/dtype incompatible with a downstream reader",
+    "PPM409": "dead write: overwritten before any snapshot read",
+    "PPM410": "liveness unanalyzable; pruning degrades to copy-all",
 }
 
 
@@ -103,6 +118,13 @@ class Diagnostic:
     """Sample of conflicting axis-0 rows (capped, sorted)."""
     ranks: tuple[int, ...] = field(default_factory=tuple)
     """Global VP ranks involved in the conflict (capped, sorted)."""
+
+    # -- content-fingerprint context (baseline suppression v2) ---------
+    expr: str | None = None
+    """Source of the access/index expression the finding is about
+    (whitespace-normalized); part of the v2 content fingerprint."""
+    kernel: str | None = None
+    """Name of the PPM function the finding was raised in."""
 
     def __post_init__(self) -> None:
         if self.severity not in SEVERITIES:

@@ -44,6 +44,9 @@ class SharedVar:
     kind: str  # "global" | "node" | "unknown"
     container: bool = False  # list/tuple of shared handles (e.g. mg's U)
     lineno: int = 0
+    extent: int | None = None  # axis-0 length when declared as a literal
+    size_expr: str | None = None  # normalized axis-0 size expression
+    dtype: str = "float"  # "float" | "int" from the declaration's dtype=
 
 
 @dataclass
@@ -144,6 +147,37 @@ def _decl_kind(value: ast.expr) -> tuple[str, bool] | None:
         if len(kinds) == 1 and all(not c for _, c in kinds):
             return next(iter(kinds))[0], True
     return None
+
+
+def _decl_shape(value: ast.expr) -> tuple[int | None, str | None, str]:
+    """(extent, size_expr, dtype) of a shared declaration call.
+
+    ``extent`` is the axis-0 length when it is a literal int;
+    ``size_expr`` is the whitespace-normalized source of the axis-0
+    size expression (the grouping key for same-size sibling arrays);
+    ``dtype`` collapses to ``"int"``/``"float"``."""
+    extent: int | None = None
+    size_expr: str | None = None
+    dtype = "float"
+    if not isinstance(value, ast.Call) or len(value.args) < 2:
+        return extent, size_expr, dtype
+    size = value.args[1]
+    if isinstance(size, ast.Tuple) and size.elts:  # (n, width) shapes
+        size = size.elts[0]
+    if isinstance(size, ast.Constant) and isinstance(size.value, int):
+        extent = size.value
+    try:
+        size_expr = " ".join(ast.unparse(size).split())
+    except Exception:  # pragma: no cover
+        size_expr = None
+    for kw in value.keywords:
+        if kw.arg == "dtype":
+            try:
+                if "int" in ast.unparse(kw.value):
+                    dtype = "int"
+            except Exception:  # pragma: no cover
+                pass
+    return extent, size_expr, dtype
 
 
 def _is_ppm_function(fn: ast.FunctionDef) -> bool:
@@ -350,8 +384,10 @@ def build_module_model(source: str, path: str = "<source>") -> ModuleModel:
                 decl = _decl_kind(node.value)
                 if decl is not None:
                     kind, container = decl
+                    extent, size_expr, dtype = _decl_shape(node.value)
                     model.shared_vars[target.id] = SharedVar(
-                        target.id, kind, container, node.lineno
+                        target.id, kind, container, node.lineno,
+                        extent=extent, size_expr=size_expr, dtype=dtype,
                     )
                 elif isinstance(node.value, ast.Name) or _is_partial_call(
                     node.value
@@ -435,7 +471,9 @@ def build_module_model(source: str, path: str = "<source>") -> ModuleModel:
                 if known is not None and known.kind != var.kind:
                     var = SharedVar(var.name, "unknown", var.container, var.lineno)
                 fn.shared_params[param] = SharedVar(
-                    param, var.kind, var.container, var.lineno
+                    param, var.kind, var.container, var.lineno,
+                    extent=var.extent, size_expr=var.size_expr,
+                    dtype=var.dtype,
                 )
 
     # Pass 4: accesses (needs the shared-parameter bindings).

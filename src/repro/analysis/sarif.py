@@ -3,10 +3,18 @@
 ``python -m repro.analysis verify --sarif out.sarif`` emits a static
 analysis log consumable by code-review UIs (GitHub code scanning et
 al.).  The baseline file is a much smaller, hand-mergeable JSON
-document listing accepted findings by ``(rule, path, line)``
-fingerprint: ``--baseline FILE`` suppresses matches (they surface as
+document listing accepted findings by content fingerprint — rule id
+plus kernel name, phase and the normalized offending expression — so
+suppressions survive unrelated edits that shift line numbers.
+``--baseline FILE`` suppresses matches (they surface as
 ``suppressions`` entries in SARIF rather than vanishing), and
 ``--write-baseline FILE`` records the current findings wholesale.
+
+Baseline files are versioned.  Version 2 files hold content
+fingerprints (:func:`fingerprint`); legacy version-1 files held
+``rule:path:line`` strings (:func:`fingerprint_v1`) and still load —
+their entries match against the v1 fingerprint, and rewriting with
+``--write-baseline`` migrates them to version 2.
 """
 
 from __future__ import annotations
@@ -19,6 +27,7 @@ __all__ = [
     "to_sarif",
     "write_sarif",
     "fingerprint",
+    "fingerprint_v1",
     "load_baseline",
     "write_baseline",
     "apply_baseline",
@@ -31,12 +40,40 @@ SARIF_SCHEMA = (
 )
 _DOCS_URL = "docs/DIAGNOSTICS.md"
 
+#: Current baseline file format.  v1 files (a bare list, or a dict
+#: without ``version``) hold :func:`fingerprint_v1` strings and are
+#: still honoured on load.
+BASELINE_VERSION = 2
+
 _LEVELS = {"error": "error", "warning": "warning", "note": "note"}
 
 
-def fingerprint(diag: Diagnostic) -> str:
-    """Stable identity of one finding for baseline matching."""
+def fingerprint_v1(diag: Diagnostic) -> str:
+    """Legacy positional identity: ``rule:path:line``.
+
+    Still emitted as a SARIF partial fingerprint and matched against
+    version-1 baseline files, but brittle — any edit above the finding
+    shifts the line and invalidates the suppression.
+    """
     return f"{diag.rule}:{diag.path or '<source>'}:{diag.line or 0}"
+
+
+def fingerprint(diag: Diagnostic) -> str:
+    """Content identity of one finding for baseline matching.
+
+    Built from the rule id, the kernel name, the phase, and the
+    whitespace-normalized offending expression (falling back to the
+    message when the analyzer attached no expression), so the
+    suppression survives edits that merely move the finding to a
+    different line.
+    """
+    expr = " ".join((diag.expr or diag.message).split())
+    kernel = diag.kernel or ""
+    if diag.phase_index is not None:
+        phase = f"{diag.phase_kind or 'phase'}@{diag.phase_index}"
+    else:
+        phase = diag.phase_kind or ""
+    return f"{diag.rule}:{kernel}:{phase}:{expr}"
 
 
 def _rule_descriptor(rule: str) -> dict:
@@ -63,7 +100,10 @@ def _result(diag: Diagnostic, suppressed: bool) -> dict:
                 }
             }
         ],
-        "partialFingerprints": {"ppmFingerprint/v1": fingerprint(diag)},
+        "partialFingerprints": {
+            "ppmFingerprint/v1": fingerprint_v1(diag),
+            "ppmFingerprint/v2": fingerprint(diag),
+        },
     }
     props = {}
     if diag.phase_index is not None:
@@ -86,8 +126,9 @@ def to_sarif(
 ) -> dict:
     """SARIF 2.1.0 document for a verify run.
 
-    ``suppressed`` is a set of :func:`fingerprint` strings (from the
-    baseline); matching results carry a ``suppressions`` entry.
+    ``suppressed`` is a set of fingerprint strings (from the baseline,
+    v2 content or legacy v1 positional); matching results carry a
+    ``suppressions`` entry.
     """
     suppressed = suppressed or set()
     rules = sorted({d.rule for d in diagnostics})
@@ -104,7 +145,11 @@ def to_sarif(
                     }
                 },
                 "results": [
-                    _result(d, fingerprint(d) in suppressed)
+                    _result(
+                        d,
+                        fingerprint(d) in suppressed
+                        or fingerprint_v1(d) in suppressed,
+                    )
                     for d in diagnostics
                 ],
             }
@@ -128,7 +173,13 @@ def write_sarif(
 # Baseline files
 # ----------------------------------------------------------------------
 def load_baseline(path: str) -> set[str]:
-    """Fingerprint set from a baseline file (empty set if missing)."""
+    """Fingerprint set from a baseline file (empty set if missing).
+
+    Both formats load: version-2 files hold content fingerprints,
+    legacy version-1 files hold ``rule:path:line`` strings.  The
+    returned set is matched against *both* fingerprints of each
+    finding, so old baselines keep suppressing until rewritten.
+    """
     try:
         with open(path, encoding="utf-8") as fh:
             doc = json.load(fh)
@@ -139,7 +190,14 @@ def load_baseline(path: str) -> set[str]:
 
 
 def write_baseline(diagnostics: list[Diagnostic], path: str) -> None:
+    """Record the findings as a version-``BASELINE_VERSION`` baseline.
+
+    Rewriting a legacy v1 baseline through this function is the
+    migration path: entries come out as content fingerprints under a
+    ``version`` key.
+    """
     doc = {
+        "version": BASELINE_VERSION,
         "comment": (
             "Accepted repro.analysis findings; regenerate with "
             "python -m repro.analysis verify --write-baseline"
@@ -154,9 +212,14 @@ def write_baseline(diagnostics: list[Diagnostic], path: str) -> None:
 def apply_baseline(
     diagnostics: list[Diagnostic], baseline: set[str]
 ) -> tuple[list[Diagnostic], list[Diagnostic]]:
-    """Split findings into (active, suppressed) against a baseline."""
+    """Split findings into (active, suppressed) against a baseline.
+
+    A finding is suppressed when either its content fingerprint (v2)
+    or its legacy positional fingerprint (v1) appears in the baseline.
+    """
     active: list[Diagnostic] = []
     quiet: list[Diagnostic] = []
     for d in diagnostics:
-        (quiet if fingerprint(d) in baseline else active).append(d)
+        hit = fingerprint(d) in baseline or fingerprint_v1(d) in baseline
+        (quiet if hit else active).append(d)
     return active, quiet

@@ -22,6 +22,9 @@ Symbolic values are canonical nested tuples (hashable, comparable):
 ``("nodelo", pk)`` / ``("nodehi", pk)``
     the bounds of a shared array's node block,
     ``X.local_range(ctx.node_id)``, keyed by the array ``pk``;
+``("extent", pk)``
+    the axis-0 extent of the shared array keyed by ``pk`` (the bounds
+    verifier's upper fence; node blocks always lie inside it);
 ``("splitlo", sk)`` / ``("splithi", sk)``
     the bounds of ``split_range(span, count)[rank]``, keyed by
     ``sk = (span, count, rank_kind)``;
@@ -75,6 +78,10 @@ def s_nodesym(key) -> tuple:
 def s_rank(kind: str) -> tuple:
     assert kind in ("node", "global")
     return ("rank", kind)
+
+
+def s_extent(pk) -> tuple:
+    return ("extent", pk)
 
 
 def is_const(v, c=None) -> bool:
@@ -265,7 +272,7 @@ def _atom_nonneg(atom, coeff: int) -> bool:
     if coeff < 0:
         return False
     tag = atom[0]
-    if tag in ("splitlo", "splithi", "nodelo", "nodehi"):
+    if tag in ("splitlo", "splithi", "nodelo", "nodehi", "extent", "rank"):
         return True
     if tag == "const":
         return atom[1] >= 0
@@ -283,6 +290,9 @@ def _atom_ge(p, n, depth: int) -> bool:
     if n[0] == "splitlo" and p[0] == "splithi" and p[1] == n[1]:
         return True
     if n[0] == "nodelo" and p[0] == "nodehi" and p[1] == n[1]:
+        return True
+    # Node blocks lie inside the array: extent >= nodehi >= nodelo.
+    if n[0] in ("nodelo", "nodehi") and p == ("extent", n[1]):
         return True
     # split_range(span, count) bounds never exceed span.
     if n[0] in ("splitlo", "splithi") and p == n[1][0]:
@@ -310,29 +320,66 @@ def le(a, b, depth: int = 0) -> bool:
         return True
     if b[0] == "min" and all(le(a, t, depth + 1) for t in b[1]):
         return True
-    diff = s_sub(b, a)  # prove diff >= 0
+    return _prove_nonneg(s_sub(b, a), depth)
+
+
+def _prove_nonneg(diff, depth: int) -> bool:
+    """Prove ``diff >= 0`` by greedy axiom discharge, falling back to
+    sound relaxations (split bounds -> spans, max/min case splits)."""
+    if depth > 8 or diff == TOP:
+        return False
     lin = _linearize(diff)
     if lin is None:
         return False
     terms, c = lin
-    if c < 0:
-        # Allow strict slack only via paired axioms below; constants
-        # must be covered by a nonneg remainder, which we do not track.
-        return False
     pos = [(at, k) for at, k in terms.items() if k > 0]
     neg = [(at, -k) for at, k in terms.items() if k < 0]
-    # Greedily discharge each negative atom against a positive one
-    # that dominates it (axiom pairs), multiplicity-respecting.
-    for at, k in neg:
-        matched = False
-        for i, (p, pk) in enumerate(pos):
-            if pk >= k and _atom_ge(p, at, depth):
-                pos[i] = (p, pk - k)
-                matched = True
+    if c >= 0:
+        # Greedily discharge each negative atom against a positive one
+        # that dominates it (axiom pairs), multiplicity-respecting.
+        rem = list(pos)
+        ok = True
+        for at, k in neg:
+            matched = False
+            for i, (p, pk) in enumerate(rem):
+                if pk >= k and _atom_ge(p, at, depth):
+                    rem[i] = (p, pk - k)
+                    matched = True
+                    break
+            if not matched:
+                ok = False
                 break
-        if not matched:
-            return False
-    return all(_atom_nonneg(p, k) for p, k in pos if k > 0)
+        if ok and all(_atom_nonneg(p, k) for p, k in rem if k > 0):
+            return True
+    # Relaxation 1: split_range bounds never exceed their span, so a
+    # *negatively*-weighted splitlo/splithi atom may be replaced by the
+    # span symbol (``-k*split >= -k*span``), which often cancels the
+    # nodelo/nodehi pair the span was built from.
+    relaxed = {
+        at: at[1][0]
+        for at, k in terms.items()
+        if k < 0 and at[0] in ("splitlo", "splithi")
+    }
+    if relaxed:
+        diff2 = subst(diff, relaxed)
+        if diff2 != diff and _prove_nonneg(diff2, depth + 1):
+            return True
+    # Relaxation 2: a max/min atom always equals one of its members, so
+    # proving the inequality under *every* member substitution proves
+    # it outright (and a positively-weighted max, or negatively-weighted
+    # min, needs only one member as a lower bound).
+    for at, k in terms.items():
+        if at[0] not in ("max", "min"):
+            continue
+        one_sided = (k > 0) == (at[0] == "max")
+        results = [
+            _prove_nonneg(subst(diff, {at: member}), depth + 1)
+            for member in at[1]
+        ]
+        if (any(results) if one_sided else all(results)):
+            return True
+        break  # case-split on the first extreme atom only
+    return False
 
 
 def ge(a, b) -> bool:
@@ -573,6 +620,8 @@ def fmt_sym(v) -> str:
         return str(key)
     if tag == "rank":
         return f"{v[1]}_rank"
+    if tag == "extent":
+        return f"len({_fmt_key(v[1])})"
     if tag in ("nodelo", "nodehi"):
         which = "lo" if tag == "nodelo" else "hi"
         return f"block_{which}({_fmt_key(v[1])})"
@@ -632,6 +681,8 @@ class AccessSummary:
     guards: tuple  # guard frames, outermost first
     expr: str  # source text of the index expression
     value_sym: object = None  # symbolic RHS value (plain writes only)
+    value_width: object = None  # symbolic axis-1 width of the RHS, if known
+    value_float: bool = False  # RHS provably floating-point (dtype check)
 
     def describe(self) -> str:
         return f"{self.variable}{fmt_iset(self.iset)} {self.kind} at line {self.lineno}"
@@ -675,6 +726,7 @@ class KernelSummary:
     edges: list = field(default_factory=list)  # DependenceEdge
     analyzable: bool = True
     reason: str | None = None  # why no certificate is possible
+    liveness: object = None  # LivenessPlan (repro.analysis.liveness)
 
     @property
     def certified(self) -> bool:

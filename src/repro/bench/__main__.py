@@ -73,8 +73,15 @@ def _resilience_cli(argv: list) -> int:
     return resilience_module.main(argv)
 
 
+def _analyzer_cli(argv: list) -> int:
+    from repro.bench import analyzer as analyzer_module
+
+    return analyzer_module.main(argv)
+
+
 CLI_EXPERIMENTS["wallclock"] = _wallclock_cli
 CLI_EXPERIMENTS["resilience"] = _resilience_cli
+CLI_EXPERIMENTS["analyzer"] = _analyzer_cli
 
 
 def main(argv: list[str]) -> int:

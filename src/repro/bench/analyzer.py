@@ -10,10 +10,17 @@ check that every app still certifies conflict-free.
 Columns: app name, analyzer host-milliseconds, number of phases
 summarised, dependence edges found, findings emitted, and whether the
 kernel holds a full conflict-freedom certificate.
+
+``python -m repro.bench analyzer --check`` re-times the apps and fails
+(exit 1) if any app analyzes more than 2x slower than the baseline
+recorded in ``bench_results/analyzer_cost.txt`` — the CI regression
+gate for analyzer cost.  Re-record the baseline by running the sweep
+without ``--check``.
 """
 
 from __future__ import annotations
 
+import argparse
 import os
 import time
 
@@ -37,7 +44,16 @@ def _repo_root() -> str:
     )
 
 
-def analyzer_cost(*, repeats: int = 3, quiet: bool = False) -> SweepResult:
+#: A fresh timing may exceed the recorded baseline by this factor
+#: before ``--check`` fails.  Generous because CI hosts are noisy; a
+#: genuine pass added to the analyzer shows up well past 2x on at
+#: least one app.
+CHECK_FACTOR = 2.0
+
+
+def analyzer_cost(
+    *, repeats: int = 3, quiet: bool = False, save: bool = True
+) -> SweepResult:
     """Time the verifier on all six apps; returns the sweep table."""
     from repro.analysis.dataflow import verify_file
 
@@ -78,10 +94,111 @@ def analyzer_cost(*, repeats: int = 3, quiet: bool = False) -> SweepResult:
                 and bool(summaries),
             }
         )
-    text = save_result(result)
+    if save:
+        text = save_result(result)
+    else:
+        from repro.bench.report import format_table
+
+        text = format_table(result)
     if not quiet:
         print(text)
         chart = render_chart(result)
         if chart:
             print(chart)
     return result
+
+
+def load_baseline(path: str | None = None) -> dict[str, float]:
+    """Parse per-app ``analyze_ms`` from a recorded analyzer table.
+
+    Returns ``{app: analyze_ms}``; raises :class:`FileNotFoundError`
+    when no baseline has been recorded yet.
+    """
+    if path is None:
+        path = os.path.join(
+            _repo_root(), "bench_results", "analyzer_cost.txt"
+        )
+    known = {app for app, _ in APP_MODULES}
+    baseline: dict[str, float] = {}
+    with open(path, encoding="utf-8") as fh:
+        for line in fh:
+            parts = line.split()
+            if len(parts) >= 2 and parts[0] in known:
+                baseline[parts[0]] = float(parts[1])
+    if not baseline:
+        raise ValueError(f"no analyzer rows found in {path}")
+    return baseline
+
+
+def check_regression(
+    result: SweepResult,
+    baseline: dict[str, float],
+    *,
+    factor: float = CHECK_FACTOR,
+) -> list[str]:
+    """Return one failure line per app exceeding ``factor``x baseline."""
+    failures = []
+    for row in result.rows:
+        app = row["app"]
+        base = baseline.get(app)
+        if base is None:
+            failures.append(f"{app}: no baseline recorded")
+            continue
+        now = row["analyze_ms"]
+        if now > factor * base:
+            failures.append(
+                f"{app}: {now:.1f} ms > {factor:g}x baseline "
+                f"({base:.1f} ms)"
+            )
+        if not row["certified"]:
+            failures.append(f"{app}: lost its conflict-freedom certificate")
+    return failures
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench analyzer",
+        description="Time the static analyzer on the six shipped apps.",
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=3,
+        help="timing repeats per app (best-of; default 3)",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help=(
+            "compare against bench_results/analyzer_cost.txt and fail "
+            f"if any app exceeds {CHECK_FACTOR:g}x its recorded "
+            "analyze_ms (the recorded file is left untouched)"
+        ),
+    )
+    args = parser.parse_args(argv)
+
+    if not args.check:
+        analyzer_cost(repeats=args.repeats)
+        return 0
+
+    try:
+        baseline = load_baseline()
+    except (FileNotFoundError, ValueError) as exc:
+        print(f"analyzer --check: cannot load baseline: {exc}")
+        print("record one with `python -m repro.bench analyzer`")
+        return 1
+    result = analyzer_cost(repeats=args.repeats, save=False)
+    failures = check_regression(result, baseline)
+    if failures:
+        print("analyzer cost regression:")
+        for line in failures:
+            print(f"  {line}")
+        return 1
+    worst = max(
+        row["analyze_ms"] / baseline[row["app"]] for row in result.rows
+    )
+    print(
+        f"analyzer cost ok: worst ratio {worst:.2f}x of recorded "
+        f"baseline (gate {CHECK_FACTOR:g}x)"
+    )
+    return 0

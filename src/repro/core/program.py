@@ -71,6 +71,7 @@ class PpmProgram:
         zero_merge: bool = True,
         supervision=None,
         supervision_state=None,
+        snapshot: str = "full",
     ) -> None:
         if trace in (None, False):
             tracer = None
@@ -94,6 +95,7 @@ class PpmProgram:
             zero_merge=zero_merge,
             supervision=supervision,
             supervision_state=supervision_state,
+            snapshot=snapshot,
         )
         self.cluster = cluster
 
@@ -236,6 +238,7 @@ def run_ppm(
     workers: int | None = None,
     zero_merge: bool = True,
     supervision=None,
+    snapshot: str = "full",
     **kwargs: object,
 ):
     """Run a PPM application.
@@ -332,6 +335,21 @@ def run_ppm(
         (:class:`~repro.core.errors.ParallelConfigError` ``PPM602``);
         without it a worker death raises
         :class:`~repro.core.errors.WorkerDeathError` (``PPM603``).
+    snapshot:
+        ``"full"`` (default) — every phase commit with outstanding
+        snapshot views pays copy-on-commit; or ``"pruned"`` — shared
+        arrays whose liveness certificate
+        (:mod:`repro.analysis.liveness`) proves every view dies inside
+        its own phase segment commit *in place*, skipping the copy
+        (and, under ``executor="process"``, the shared-memory segment
+        swap).  Committed arrays and simulated times stay
+        bitwise-identical; the skipped copies surface as
+        :class:`~repro.obs.events.SnapshotPruned` events and the
+        report's snapshot-pruning summary.  Kernels without a
+        certificate — and all runs with ``resilience``/``faults`` or
+        ``supervision`` configured — silently keep the full snapshot
+        protocol (pruning is an optimization, never a semantics
+        change; see docs/ANALYSIS.md).
 
     With ``faults``, ``checkpoint_every`` and ``resilience`` all
     ``None`` (the default), this takes exactly the pre-resilience
@@ -350,7 +368,7 @@ def run_ppm(
             hot_path=hot_path, faults=faults,
             checkpoint_every=checkpoint_every, resilience=resilience,
             executor=executor, workers=workers, zero_merge=zero_merge,
-            supervision=None, supervision_state=None,
+            supervision=None, supervision_state=None, snapshot=snapshot,
         )
 
     # Supervised run: the degradation loop.  A _PoolDegradation escape
@@ -378,6 +396,7 @@ def run_ppm(
                 checkpoint_every=checkpoint_every, resilience=resilience,
                 executor=executor, workers=workers, zero_merge=zero_merge,
                 supervision=supervision, supervision_state=state,
+                snapshot=snapshot,
             )
         except _PoolDegradation as deg:
             state.degradations += 1
@@ -407,7 +426,7 @@ def _run_once(
     main, cluster, args, kwargs, *,
     vp_executor, sanitize, trace, hot_path, faults, checkpoint_every,
     resilience, executor, workers, zero_merge, supervision,
-    supervision_state,
+    supervision_state, snapshot,
 ):
     """One complete driver execution (one pool configuration); the
     body ``run_ppm`` wraps in its supervised degradation loop."""
@@ -423,6 +442,7 @@ def _run_once(
             zero_merge=zero_merge,
             supervision=supervision,
             supervision_state=supervision_state,
+            snapshot=snapshot,
         )
         try:
             result = main(ppm, *args, **kwargs)
@@ -463,6 +483,7 @@ def _run_once(
             zero_merge=zero_merge,
             supervision=supervision,
             supervision_state=supervision_state,
+            snapshot=snapshot,
         )
         manager.begin_incarnation(ppm.runtime)
         try:

@@ -49,7 +49,12 @@ from repro.core.shared import GlobalShared, RowSpec
 from repro.core.vp import VpContext, core_of
 from repro.machine.cluster import Cluster
 from repro.machine.network import ZERO_COST
-from repro.obs.events import NodeSlice, PhaseBegin, PhaseCommit
+from repro.obs.events import (
+    NodeSlice,
+    PhaseBegin,
+    PhaseCommit,
+    SnapshotPruned,
+)
 
 
 class _VpRecord:
@@ -127,6 +132,7 @@ class PpmRuntime:
         zero_merge: bool = True,
         supervision=None,
         supervision_state=None,
+        snapshot: str = "full",
     ) -> None:
         if vp_executor not in ("sequential", "threads"):
             raise ValueError(
@@ -135,6 +141,10 @@ class PpmRuntime:
         if hot_path not in ("fast", "legacy"):
             raise ValueError(
                 f"hot_path must be 'fast' or 'legacy', got {hot_path!r}"
+            )
+        if snapshot not in ("full", "pruned"):
+            raise ValueError(
+                f"snapshot must be 'full' or 'pruned', got {snapshot!r}"
             )
         if executor not in ("inline", "process"):
             raise ParallelConfigError(
@@ -258,6 +268,25 @@ class PpmRuntime:
         #: Phase rounds that ran under a static overlap certificate
         #: (dynamic conflict check skipped, comm certified-overlappable).
         self.stats_certified_phases = 0
+        #: Snapshot engine selector: ``"full"`` (default — every commit
+        #: with outstanding views pays copy-on-commit) or ``"pruned"``
+        #: — commits of arrays the liveness certificate
+        #: (:mod:`repro.analysis.liveness`) proved unread before their
+        #: next overwrite apply in place, skipping the copy.  Committed
+        #: arrays and simulated times are bitwise-identical either way.
+        self.snapshot = snapshot
+        #: Names of shared variables the active kernel's liveness
+        #: certificate allows to commit in place (``snapshot="pruned"``
+        #: only; empty otherwise).
+        self._prune_names: frozenset = frozenset()
+        #: Commits that skipped copy-on-commit under
+        #: ``snapshot="pruned"``, and the copy bytes avoided.
+        self.stats_pruned_commits = 0
+        self.stats_pruned_bytes = 0
+        #: Copy-on-commit swaps actually performed: host seconds spent
+        #: copying and bytes moved (what pruning removes).
+        self.stats_commit_copy_s = 0.0
+        self.stats_commit_copy_bytes = 0
         #: Certificate of the kernel currently inside ``do``, or None.
         self._active_cert = None
         self._tls = threading.local()
@@ -480,12 +509,25 @@ class PpmRuntime:
             self.sanitize_auto
             or self.config.certified_overlap_fraction is not None
             or self.executor == "process"
+            or self.snapshot == "pruned"
         ):
             distinct = {id(f) for f in funcs if f is not None}
             if len(distinct) == 1 and funcs[0] is not None:
                 from repro.analysis.certify import certificate_for
 
                 self._active_cert = certificate_for(funcs[0], args, kwargs)
+        # Snapshot pruning: arm the in-place commit for the arrays this
+        # kernel's liveness certificate proved safe.  Resilience
+        # checkpoints and supervised replays both lean on pre-commit
+        # copies existing, so either feature disables pruning outright.
+        self._prune_names = frozenset()
+        if (
+            self.snapshot == "pruned"
+            and self._active_cert is not None
+            and self.resilience is None
+            and self.supervision is None
+        ):
+            self._prune_names = self._active_cert.prunable
 
         # Process backend, created lazily at the first do (workers fork
         # after driver-level setup, inheriting the shm mappings warm).
@@ -836,13 +878,25 @@ class PpmRuntime:
         # zero-merge groups commit worker-side (write_ops stays empty
         # and apply_writes below no-ops), fallback groups ship their
         # operations into the recorder for the unchanged path.
+        p0, b0 = self.stats_pruned_commits, self.stats_pruned_bytes
         if self._backend is not None:
             self._backend.finish_commit(recorder, None)
         if self.sanitizer is not None and not (certified and self.sanitize_auto):
             self.sanitizer.check_phase(recorder, phase_index=phase_index)
         if certified:
             self.stats_certified_phases += 1
-        recorder.apply_writes(engine=self.commit_engine, plans=self.commit_plans)
+        prune = self._prune_names
+        recorder.apply_writes(
+            engine=self.commit_engine, plans=self.commit_plans, prune=prune
+        )
+        if tr is not None and self.stats_pruned_commits > p0:
+            tr.emit(
+                SnapshotPruned(
+                    phase=phase_index,
+                    commits=self.stats_pruned_commits - p0,
+                    bytes_avoided=self.stats_pruned_bytes - b0,
+                )
+            )
         n_contrib = recorder.resolve_collectives()
         if self._backend is not None:
             # Ship resolved reduce/scan values back with the next round
@@ -1044,13 +1098,26 @@ class PpmRuntime:
             )
         self._execute_phase_bodies(recorder, node_vps)
 
+        p0, b0 = self.stats_pruned_commits, self.stats_pruned_bytes
         if self._backend is not None:
             self._backend.finish_commit(recorder, node_id)
         if self.sanitizer is not None and not (certified and self.sanitize_auto):
             self.sanitizer.check_phase(recorder, phase_index=phase_index)
         if certified:
             self.stats_certified_phases += 1
-        recorder.apply_writes(engine=self.commit_engine, plans=self.commit_plans)
+        recorder.apply_writes(
+            engine=self.commit_engine,
+            plans=self.commit_plans,
+            prune=self._prune_names,
+        )
+        if tr is not None and self.stats_pruned_commits > p0:
+            tr.emit(
+                SnapshotPruned(
+                    phase=phase_index,
+                    commits=self.stats_pruned_commits - p0,
+                    bytes_avoided=self.stats_pruned_bytes - b0,
+                )
+            )
         n_contrib = recorder.resolve_collectives()
         if self._backend is not None:
             self._backend.harvest_collectives(recorder, node_id)

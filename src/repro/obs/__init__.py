@@ -43,6 +43,7 @@ from repro.obs.events import (
     Recovery,
     RetryAttempt,
     RoundReplay,
+    SnapshotPruned,
     VpScheduled,
     WorkerCrash,
     WorkerRespawn,
@@ -63,6 +64,7 @@ from repro.obs.metrics import (
     PhaseReport,
     ResilienceSummary,
     RunReport,
+    SnapshotPruningSummary,
     SupervisionSummary,
     WorkerUtilization,
     ZeroMergeSummary,
@@ -89,6 +91,8 @@ __all__ = [
     "RetryAttempt",
     "RoundReplay",
     "RunReport",
+    "SnapshotPruned",
+    "SnapshotPruningSummary",
     "SupervisionSummary",
     "VpScheduled",
     "WorkerCrash",

@@ -495,6 +495,7 @@ class ProcessBackend:
         # accumulates are not idempotent, so a partial apply by the
         # dead worker must be overwritten, not re-applied.
         supervised = self.supervisor is not None
+        prune = rt._prune_names
         groups = []
         for node_key, (_certified, zero_merge) in sorted(
             self._round_flags.items(),
@@ -506,8 +507,17 @@ class ProcessBackend:
                     self._hold_wtargets.get(node_key, ()),
                     key=lambda t: (t[0], -1 if t[1] is None else t[1]),
                 ):
+                    # Pruned targets skip the pre-swap: the workers
+                    # commit straight into the live segment, and no
+                    # remap ships (the certificate proves no worker
+                    # view outlives its segment).  Supervised commits
+                    # never prune — the swapped copy is crash-replay
+                    # state.
                     registry[name]._commit_target(
-                        instance, force=supervised, retain=supervised
+                        instance,
+                        force=supervised,
+                        retain=supervised,
+                        prune=not supervised and name in prune,
                     )
             groups.append((node_key, decision))
         cmd = {

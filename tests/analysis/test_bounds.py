@@ -1,0 +1,147 @@
+"""Unit tests for the interprocedural bounds & shape passes.
+
+PPM406 (proven out-of-bounds, concrete witness rank), PPM407
+(unprovable bound over chunk-algebra expressions, named), PPM408
+(row-width/dtype mismatch along RAW edges), and the extent-group
+canonicalization that lets one array be indexed with a same-sized
+array's block bounds.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import extent_groups
+from repro.analysis.dataflow import verify_source
+from repro.analysis.lint import build_module_model
+
+
+def rules(diags):
+    return {d.rule for d in diags}
+
+
+OOB = '''
+from repro.core import ppm_function
+
+def build(ppm, cluster):
+    X = ppm.global_shared("X", 64)
+    ppm.do(cluster.total_cores(), oob, X)
+
+@ppm_function
+def oob(ctx, X):
+    yield ctx.global_phase
+    X[64] = 0.0
+'''
+
+
+CLEAN = '''
+from repro.core import ppm_function
+from repro.apps.common import split_range
+
+def build(ppm, cluster):
+    X = ppm.global_shared("X", 64)
+    ppm.do(cluster.total_cores(), k, X)
+
+@ppm_function
+def k(ctx, X):
+    yield ctx.global_phase
+    lo, hi = split_range(64, ctx.global_vp_count)[ctx.global_rank]
+    X[lo:hi] = 1.0
+'''
+
+
+MIXED = '''
+from repro.core import ppm_function
+
+def build(ppm, cluster):
+    X = ppm.global_shared("X", 64)
+    Y = ppm.global_shared("Y", 32)
+    ppm.do(cluster.total_cores(), k, X, Y)
+
+@ppm_function
+def k(ctx, X, Y):
+    yield ctx.global_phase
+    lo, hi = Y.local_range(ctx.node_id)
+    if ctx.global_rank == 0:
+        X[lo:hi] = 1.0
+'''
+
+
+SHAPE = '''
+from repro.core import ppm_function
+
+def build(ppm, cluster):
+    X = ppm.global_shared("X", 64)
+    Y = ppm.global_shared("Y", 64)
+    ppm.do(cluster.total_cores(), k, X, Y)
+
+@ppm_function
+def k(ctx, X, Y):
+    yield ctx.global_phase
+    if ctx.global_rank == 0:
+        X[0:8] = Y[0:4]
+    yield ctx.global_phase
+    if ctx.global_rank == 0:
+        Y[0:8] = X[0:8]
+'''
+
+
+class TestBounds:
+    def test_constant_oob_is_ppm406_with_witness_rank(self):
+        diags, _ = verify_source(OOB, "oob.py")
+        d = next(d for d in diags if d.rule == "PPM406")
+        assert d.severity == "error"
+        assert d.kernel == "oob"
+        # The witness is concrete: rank 0 always exists, and the
+        # folded index and declared extent are both named.
+        assert "at VP rank 0, index 64 >= extent 64" in d.message
+
+    def test_split_range_block_write_proves_clean(self):
+        diags, (summary,) = verify_source(CLEAN, "clean.py")
+        assert not rules(diags) & {"PPM406", "PPM407", "PPM408"}
+        assert summary.certified
+
+    def test_cross_extent_indexing_is_ppm407_naming_the_bound(self):
+        diags, (summary,) = verify_source(MIXED, "mixed.py")
+        d = next(d for d in diags if d.rule == "PPM407")
+        assert d.severity == "warning"
+        assert "unprovable upper bound" in d.message
+        assert "'X'" in d.message
+        # Advisory only: the conflict-freedom certificate is separate.
+        assert summary.certified
+
+    def test_same_extent_group_discharges_silently(self):
+        same = MIXED.replace(
+            'global_shared("Y", 32)', 'global_shared("Y", 64)'
+        )
+        diags, _ = verify_source(same, "same.py")
+        assert "PPM407" not in rules(diags)
+
+    def test_extent_groups_share_a_representative(self):
+        model = build_module_model(
+            MIXED.replace('global_shared("Y", 32)', 'global_shared("Y", 64)'),
+            "same.py",
+        )
+        fn = next(f for f in model.functions if f.name == "k")
+        groups = extent_groups(fn)
+        assert groups["X"] == groups["Y"]
+
+    def test_distinct_sizes_keep_distinct_groups(self):
+        model = build_module_model(MIXED, "mixed.py")
+        fn = next(f for f in model.functions if f.name == "k")
+        groups = extent_groups(fn)
+        assert groups["X"] != groups["Y"]
+
+
+class TestShapes:
+    def test_width_mismatch_on_raw_edge_is_ppm408(self):
+        diags, _ = verify_source(SHAPE, "shape.py")
+        d = next(d for d in diags if d.rule == "PPM408")
+        assert d.severity == "error"
+        assert "length 4" in d.message and "8 rows" in d.message
+        assert "downstream phase reads" in d.message
+
+    def test_width_mismatch_without_reader_is_silent(self):
+        # No downstream phase reads X, so the mismatched write is the
+        # kernel's own business (no RAW edge, no PPM408).
+        unread = SHAPE.replace("Y[0:8] = X[0:8]", "Y[0:8] = 2.0")
+        diags, _ = verify_source(unread, "unread.py")
+        assert "PPM408" not in rules(diags)

@@ -117,6 +117,25 @@ class TestCli:
         for rule_id in ("PPM101", "PPM102", "PPM103", "PPM104", "PPM105"):
             assert rule_id in proc.stdout
 
+    def test_verify_list_rules_covers_all_dataflow_codes(self):
+        """No hard-coded rule tuple: every registered PPM4xx code is
+        listed, including the bounds/liveness family."""
+        from repro.analysis.diagnostics import ALL_CODES
+
+        proc = run_cli("verify", "--list-rules")
+        assert proc.returncode == 0
+        for code in (c for c in ALL_CODES if c.startswith("PPM4")):
+            assert code in proc.stdout
+
+    def test_list_codes_prints_every_registered_code(self):
+        from repro.analysis.diagnostics import ALL_CODES
+
+        proc = run_cli("--list-codes")
+        assert proc.returncode == 0
+        for code, summary in ALL_CODES.items():
+            assert code in proc.stdout
+            assert summary in proc.stdout
+
     def test_no_paths_is_usage_error(self):
         proc = run_cli()
         assert proc.returncode == 2
@@ -248,6 +267,32 @@ class TestVerifyCli:
     def test_verify_no_paths_is_usage_error(self):
         proc = run_cli("verify")
         assert proc.returncode == 2
+
+    def test_json_and_sarif_are_mutually_exclusive(self, tmp_path):
+        path = tmp_path / "good.py"
+        path.write_text(CERTIFIABLE)
+        proc = run_cli(
+            "verify",
+            "--json",
+            "--sarif",
+            str(tmp_path / "out.sarif"),
+            str(path),
+        )
+        assert proc.returncode == 2
+        assert "not allowed with" in proc.stderr
+
+    def test_written_baseline_is_version_2(self, tmp_path):
+        path = tmp_path / "bad.py"
+        path.write_text(CONFLICTING)
+        baseline = tmp_path / "baseline.json"
+        run_cli("verify", "--write-baseline", str(baseline), str(path))
+        doc = json.loads(baseline.read_text())
+        assert doc["version"] == 2
+        # Content fingerprints, not rule:path:line positional ones.
+        assert doc["suppressions"]
+        assert not any(
+            str(path) in s for s in doc["suppressions"]
+        )
 
     def test_repo_verify_gate_passes(self):
         """The CI verify gate: all six shipped apps certify clean."""

@@ -1,0 +1,97 @@
+"""``snapshot="pruned"`` equivalence, property-swept.
+
+The pruning contract: feeding liveness certificates to the snapshot
+engine (and the process backend's shm swap-on-commit) may skip copies
+only for arrays proven unread through stale views — so for any seed,
+engine and worker count, committed arrays and simulated times stay
+bitwise-identical to the default full-copy protocol.  Hypothesis
+sweeps seeds and engines over the three Figure-1 workloads (CG, BFS,
+multigrid); the savings themselves are asserted via the trace rollup.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.apps.cg import build_chimney_problem, ppm_cg_solve
+from repro.apps.graph import hashed_graph, ppm_bfs
+from repro.apps.multigrid import build_mg_problem, ppm_mg_solve
+from repro.config import manycore, testing as mkconfig
+from repro.machine import Cluster
+from repro.obs import PhaseTrace, RunReport
+from repro.parallel.shm import live_ppm_segments
+
+SWEEP = settings(
+    max_examples=4,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+#: The three commit engines pruning must not perturb: inline,
+#: process with record-replay merge, process with zero-merge commit.
+ENGINES = st.sampled_from(
+    (
+        {},
+        {"executor": "process", "workers": 2, "zero_merge": False},
+        {"executor": "process", "workers": 2, "zero_merge": True},
+    )
+)
+
+
+class TestPrunedEquivalence:
+    @SWEEP
+    @given(seed=st.integers(1, 50), engine=ENGINES)
+    def test_cg(self, seed, engine):
+        prob = build_chimney_problem(6, 6, 4, seed=seed)
+        cl = lambda: Cluster(manycore(n_nodes=4, cores_per_node=2))  # noqa: E731
+        r1, t1 = ppm_cg_solve(prob, cl(), max_iters=8)
+        r2, t2 = ppm_cg_solve(
+            prob, cl(), max_iters=8, snapshot="pruned", **engine
+        )
+        assert t1 == t2
+        np.testing.assert_array_equal(r1.x, r2.x)
+        assert live_ppm_segments() == []
+
+    @SWEEP
+    @given(seed=st.integers(1, 50), engine=ENGINES)
+    def test_bfs(self, seed, engine):
+        g = hashed_graph(128, degree=5, seed=seed)
+        cl = lambda: Cluster(manycore(n_nodes=4, cores_per_node=2))  # noqa: E731
+        d1, t1 = ppm_bfs(g, 0, cl())
+        d2, t2 = ppm_bfs(g, 0, cl(), snapshot="pruned", **engine)
+        assert t1 == t2
+        np.testing.assert_array_equal(d1, d2)
+        assert live_ppm_segments() == []
+
+    @SWEEP
+    @given(seed=st.integers(1, 50), engine=ENGINES)
+    def test_multigrid(self, seed, engine):
+        prob = build_mg_problem(levels=3, seed=seed)
+        cl = lambda: Cluster(mkconfig(n_nodes=2, cores_per_node=2))  # noqa: E731
+        u1, t1 = ppm_mg_solve(prob, cl(), cycles=2)
+        u2, t2 = ppm_mg_solve(
+            prob, cl(), cycles=2, snapshot="pruned", **engine
+        )
+        assert t1 == t2
+        np.testing.assert_array_equal(u1, u2)
+        assert live_ppm_segments() == []
+
+
+class TestPruningIsObservable:
+    def test_cg_reports_bytes_avoided(self):
+        prob = build_chimney_problem(6, 6, 4, seed=3)
+        cl = Cluster(manycore(n_nodes=4, cores_per_node=2))
+        trace = PhaseTrace()
+        ppm_cg_solve(prob, cl, max_iters=8, snapshot="pruned", trace=trace)
+        pruning = RunReport.from_trace(trace).snapshot_pruning
+        assert pruning is not None
+        assert pruning.commits > 0 and pruning.bytes_avoided > 0
+
+    def test_full_snapshot_reports_nothing(self):
+        prob = build_chimney_problem(6, 6, 4, seed=3)
+        cl = Cluster(manycore(n_nodes=4, cores_per_node=2))
+        trace = PhaseTrace()
+        ppm_cg_solve(prob, cl, max_iters=8, trace=trace)
+        assert RunReport.from_trace(trace).snapshot_pruning is None
